@@ -1,0 +1,152 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printed side by side with the paper's numbers) and registers
+   one Bechamel micro-benchmark per artifact measuring the cost of its
+   regeneration kernel.
+
+   Usage:
+     bench/main.exe                 -- everything
+     bench/main.exe table1 figure6  -- selected experiments
+     bench/main.exe bechamel        -- only the Bechamel timings *)
+
+module Dconfig = R2c_core.Dconfig
+module Pipeline = R2c_core.Pipeline
+module Spec = R2c_workloads.Spec
+module Measure = R2c_harness.Measure
+open R2c_machine
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "table1",
+      "Table 1: component overheads (Push/AVX/BTDP/Prolog/Layout/OIA)",
+      fun () -> R2c_harness.Table1.(print (run ())) );
+    ( "table2",
+      "Table 2: median call frequencies",
+      fun () -> R2c_harness.Table2.(print (run ())) );
+    ( "table3",
+      "Table 3: defense comparison matrix",
+      fun () -> R2c_harness.Table3.(print (run ())) );
+    ( "figure6",
+      "Figure 6: full R2C overhead on four machines",
+      fun () -> R2c_harness.Figure6.(print (run ())) );
+    ( "web",
+      "Section 6.2.4: webserver throughput",
+      fun () -> R2c_harness.Webbench.(print (run ())) );
+    ( "memory",
+      "Section 6.2.5: memory overhead",
+      fun () -> R2c_harness.Membench.(print (run ())) );
+    ( "security",
+      "Section 7.2: probabilistic security, AOCR and Blind ROP batteries",
+      fun () -> R2c_harness.Secbench.(print (run ())) );
+    ( "scale",
+      "Section 6.3: compiling large programs",
+      fun () -> R2c_harness.Scale.(print (run ())) );
+    ( "ablation",
+      "Design-choice ablations (BTRA count, setups, BTDP density, pools)",
+      fun () -> R2c_harness.Ablation.print_all () );
+    ( "extensions",
+      "Section 7.1/7.3 extensions: race window, RA zeroing vs checks, MVEE",
+      fun () -> Extension_demos.run () );
+  ]
+
+(* --- Bechamel: one Test.make per artifact, timing the regeneration
+   kernel at a small size. --- *)
+
+let bechamel_tests () =
+  let module M = R2c_harness.Measure in
+  let open Bechamel in
+  let full = Dconfig.full () in
+  let perl = (Spec.find "perlbench").Spec.program in
+  let baseline_img = R2c_compiler.Driver.compile perl in
+  let r2c_img = Pipeline.compile ~seed:3 full perl in
+  let vuln = R2c_defenses.Defenses.build_vulnapp R2c_defenses.Defenses.r2c ~seed:4 in
+  let vuln_ref =
+    R2c_attacks.Reference.measure
+      (R2c_defenses.Defenses.build_vulnapp R2c_defenses.Defenses.r2c ~seed:1004)
+  in
+  let web = R2c_workloads.Webserver.server `Nginx ~requests:100 in
+  let web_img = R2c_compiler.Driver.compile web in
+  let gen = R2c_workloads.Genprog.generate ~seed:1 ~funcs:200 in
+  Test.make_grouped ~name:"r2c"
+    [
+      Test.make ~name:"table1.run-baseline"
+        (Staged.stage (fun () -> ignore (M.run baseline_img)));
+      Test.make ~name:"table1.run-full-r2c"
+        (Staged.stage (fun () -> ignore (M.run r2c_img)));
+      Test.make ~name:"table2.call-count"
+        (Staged.stage (fun () -> ignore (M.run baseline_img).M.calls));
+      Test.make ~name:"table3.aocr-attack"
+        (Staged.stage (fun () ->
+             let target =
+               R2c_attacks.Oracle.attach ~break_sym:R2c_workloads.Vulnapp.break_symbol
+                 vuln
+             in
+             ignore
+               (R2c_attacks.Aocr.run
+                  ~rng:(R2c_util.Rng.create 7)
+                  ~reference:vuln_ref ~target ())));
+      Test.make ~name:"figure6.compile-full-r2c"
+        (Staged.stage (fun () -> ignore (Pipeline.compile ~seed:5 full perl)));
+      Test.make ~name:"web.serve-requests"
+        (Staged.stage (fun () -> ignore (M.run web_img)));
+      Test.make ~name:"memory.maxrss"
+        (Staged.stage (fun () ->
+             let p = Process.start baseline_img in
+             ignore (Process.run p);
+             ignore (Process.maxrss_bytes p)));
+      Test.make ~name:"security.frame-census"
+        (Staged.stage (fun () ->
+             let target =
+               R2c_attacks.Oracle.attach ~break_sym:R2c_workloads.Vulnapp.break_symbol
+                 vuln
+             in
+             match R2c_attacks.Oracle.to_break target with
+             | `Break -> ignore (R2c_attacks.Oracle.leak_stack target ~words:256)
+             | `Done _ -> ()));
+      Test.make ~name:"scale.compile-200-funcs"
+        (Staged.stage (fun () -> ignore (Pipeline.compile ~seed:2 full gen)));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  print_endline "\n== Bechamel: regeneration-kernel timings ==";
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-36s %14.0f ns/run (%s)\n" test est name
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n" test)
+        tbl)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let t0 = Unix.gettimeofday () in
+  let selected =
+    match args with
+    | [] -> List.map (fun (n, _, _) -> n) experiments @ [ "bechamel" ]
+    | _ -> args
+  in
+  List.iter
+    (fun name ->
+      if name = "bechamel" then run_bechamel ()
+      else
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, desc, f) ->
+            Printf.printf "\n######## %s ########\n%!" desc;
+            let t = Unix.gettimeofday () in
+            f ();
+            Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+        | None ->
+            Printf.eprintf "unknown experiment %s (available: %s, bechamel)\n" name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
+    selected;
+  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,123 @@
+(* r2c-experiments: run the paper-reproduction experiments individually with
+   tunable trial counts. `bench/main.exe` runs the whole battery; this tool
+   is the fine-grained interface. *)
+
+open Cmdliner
+
+let seeds_term =
+  let doc = "Compilation seeds for median-of-N runs (comma separated)." in
+  Arg.(value & opt (list int) [ 3; 11; 27 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+
+let table1_cmd =
+  let run seeds =
+    R2c_harness.Table1.(print (run ~seeds ()));
+    0
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Component overheads (paper Table 1).")
+    Term.(const run $ seeds_term)
+
+let table2_cmd =
+  let run () =
+    R2c_harness.Table2.(print (run ()));
+    0
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Call frequencies (paper Table 2).")
+    Term.(const run $ const ())
+
+let table3_cmd =
+  let trials =
+    Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials per cell.")
+  in
+  let overheads =
+    Arg.(value & flag & info [ "no-overhead" ] ~doc:"Skip the measured overhead column.")
+  in
+  let run trials no_overhead =
+    R2c_harness.Table3.(print (run ~trials ~with_overhead:(not no_overhead) ()));
+    0
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Defense comparison (paper Table 3).")
+    Term.(const run $ trials $ overheads)
+
+let figure6_cmd =
+  let run seeds =
+    R2c_harness.Figure6.(print (run ~seeds ()));
+    0
+  in
+  Cmd.v (Cmd.info "figure6" ~doc:"Full R2C overhead on four machines (paper Figure 6).")
+    Term.(const run $ seeds_term)
+
+let web_cmd =
+  let requests =
+    Arg.(value & opt int 400 & info [ "requests" ] ~docv:"N" ~doc:"Requests per run.")
+  in
+  let run seeds requests =
+    R2c_harness.Webbench.(print (run ~seeds ~requests ()));
+    0
+  in
+  Cmd.v (Cmd.info "web" ~doc:"Webserver throughput (Section 6.2.4).")
+    Term.(const run $ seeds_term $ requests)
+
+let memory_cmd =
+  let run () =
+    R2c_harness.Membench.(print (run ()));
+    0
+  in
+  Cmd.v (Cmd.info "memory" ~doc:"Memory overhead (Section 6.2.5).")
+    Term.(const run $ const ())
+
+let security_cmd =
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials.")
+  in
+  let run trials =
+    R2c_harness.Secbench.(print (run ~trials ()));
+    0
+  in
+  Cmd.v (Cmd.info "security" ~doc:"Probabilistic security evaluation (Section 7.2).")
+    Term.(const run $ trials)
+
+let scale_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 500; 2000; 8000 ]
+      & info [ "sizes" ] ~docv:"SIZES" ~doc:"Program sizes in functions.")
+  in
+  let run sizes =
+    R2c_harness.Scale.(print (run ~sizes ()));
+    0
+  in
+  Cmd.v (Cmd.info "scale" ~doc:"Compilation at scale (Section 6.3).")
+    Term.(const run $ sizes)
+
+let ablation_cmd =
+  let run () =
+    R2c_harness.Ablation.print_all ();
+    0
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablation sweeps.") Term.(const run $ const ())
+
+let all_cmd =
+  let run seeds =
+    R2c_harness.Table1.(print (run ~seeds ()));
+    R2c_harness.Table2.(print (run ()));
+    R2c_harness.Table3.(print (run ()));
+    R2c_harness.Figure6.(print (run ~seeds ()));
+    R2c_harness.Webbench.(print (run ()));
+    R2c_harness.Membench.(print (run ()));
+    R2c_harness.Secbench.(print (run ()));
+    R2c_harness.Scale.(print (run ()));
+    0
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ seeds_term)
+
+let () =
+  let doc = "Reproduce the R2C paper's evaluation tables and figures." in
+  let info = Cmd.info "r2c-experiments" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
+            security_cmd; scale_cmd; ablation_cmd; all_cmd;
+          ]))

@@ -1,0 +1,153 @@
+(* r2cc: the R2C compiler driver for the bundled workloads.
+
+   Compile a named workload under a chosen protection configuration, run it
+   on a chosen machine profile, and report cycles / calls / memory — or dump
+   the diversified assembly. *)
+
+open Cmdliner
+module Dconfig = R2c_core.Dconfig
+open R2c_machine
+
+let workloads () =
+  List.map (fun (b : R2c_workloads.Spec.benchmark) -> (b.name, b.program))
+    (R2c_workloads.Spec.all ())
+  @ [
+      ("nginx", R2c_workloads.Webserver.server `Nginx ~requests:400);
+      ("apache", R2c_workloads.Webserver.server `Apache ~requests:400);
+      ("vulnsrv", R2c_workloads.Vulnapp.program ());
+    ]
+
+let config_of_name = function
+  | "baseline" -> Dconfig.baseline
+  | "full" -> Dconfig.full ()
+  | "full-push" -> Dconfig.full ~setup:Dconfig.Push ()
+  | "push" -> Dconfig.btra_push_only
+  | "avx" -> Dconfig.btra_avx_only
+  | "btdp" -> Dconfig.btdp_only
+  | "prolog" -> Dconfig.prolog_only
+  | "layout" -> Dconfig.layout_only
+  | "oia" -> Dconfig.oia_only
+  | other -> failwith ("unknown config " ^ other)
+
+let machine_of_name name =
+  match
+    List.find_opt (fun p -> String.lowercase_ascii p.Cost.name = String.lowercase_ascii name)
+      Cost.all_machines
+  with
+  | Some p -> p
+  | None -> (
+      match name with
+      | "i9" -> Cost.i9_9900k
+      | "epyc" -> Cost.epyc_rome
+      | "tr" -> Cost.tr_3970x
+      | "xeon" -> Cost.xeon_8358
+      | other -> failwith ("unknown machine " ^ other))
+
+let run_workload name config machine seed dump emit_ir trace =
+  let program =
+    (* A path ending in .r2c is compiled from source; otherwise it names a
+       bundled workload. *)
+    if Filename.check_suffix name ".r2c" then begin
+      let ic = open_in name in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      match Text.parse src with
+      | Ok p -> (
+          match Validate.check p with
+          | [] -> p
+          | errs ->
+              failwith
+                (String.concat "\n" (List.map Validate.error_to_string errs)))
+      | Error e -> failwith (name ^ ": " ^ Text.error_to_string e)
+    end
+    else
+      match List.assoc_opt name (workloads ()) with
+      | Some p -> p
+      | None ->
+          failwith
+            (Printf.sprintf "unknown workload %s (have: %s, or a .r2c file)" name
+               (String.concat ", " (List.map fst (workloads ()))))
+  in
+  if emit_ir then begin
+    print_string (Text.to_string program);
+    exit 0
+  end;
+  let cfg = config_of_name config in
+  let profile = machine_of_name machine in
+  let img =
+    if config = "baseline" then R2c_compiler.Driver.compile program
+    else R2c_core.Pipeline.compile ~seed cfg program
+  in
+  if dump then begin
+    Printf.printf "; %s under %s (seed %d)\n%s" name config seed (Dump.image img);
+    0
+  end
+  else if trace then begin
+    (* Traced run: keep the last instructions for a post-mortem view. *)
+    let cpu = Loader.load ~profile img in
+    let tr = Trace.create ~capacity:40 in
+    let result = Trace.run tr cpu ~fuel:50_000_000 in
+    Printf.printf "--- output ---\n%s--- end ---\n" (Cpu.output cpu);
+    (match result with
+    | Cpu.Halted -> Printf.printf "exit: %d\n" cpu.Cpu.exit_code
+    | Cpu.Fuel_exhausted -> print_endline "timeout"
+    | Cpu.Faulted f -> Printf.printf "FAULT: %s\n" (Fault.to_string f));
+    Printf.printf "last instructions:\n%s\n" (Trace.pp_tail tr ~n:24);
+    0
+  end
+  else begin
+    let p = Process.start ~profile img in
+    match Process.run p with
+    | Process.Exited code ->
+        Printf.printf "--- output ---\n%s--- end ---\n" (Process.output p);
+        Printf.printf "exit: %d\n" code;
+        Printf.printf "machine: %s, config: %s (%s), seed %d\n" profile.Cost.name config
+          (Dconfig.describe cfg) seed;
+        Printf.printf "instructions: %d\ncalls: %d\ncycles: %.0f\nmaxrss: %d KB\n"
+          (Process.insns p) (Process.calls p) (Process.cycles p)
+          (Process.maxrss_bytes p / 1024);
+        if code = 0 then 0 else code
+    | o ->
+        Printf.printf "run failed: %s\n" (Process.outcome_to_string o);
+        1
+  end
+
+let () =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (try: perlbench, nginx, vulnsrv).")
+  in
+  let config =
+    Arg.(
+      value & opt string "full"
+      & info [ "c"; "config" ] ~docv:"CONFIG"
+          ~doc:
+            "Protection: baseline, full, full-push, push, avx, btdp, prolog, layout, oia.")
+  in
+  let machine =
+    Arg.(
+      value & opt string "epyc"
+      & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Cost profile: i9, epyc, tr, xeon.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Diversification seed.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "S"; "dump" ] ~doc:"Dump the diversified assembly and exit.")
+  in
+  let emit_ir =
+    Arg.(value & flag & info [ "emit-ir" ] ~doc:"Print the workload as textual IR and exit.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Trace execution; print the final instructions.")
+  in
+  let doc = "Compile and run a bundled workload under R2C protection." in
+  let cmd =
+    Cmd.v (Cmd.info "r2cc" ~version:"1.0.0" ~doc)
+      Term.(
+        const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/aocr_attack.ml: List Printf R2c_attacks R2c_defenses R2c_util R2c_workloads

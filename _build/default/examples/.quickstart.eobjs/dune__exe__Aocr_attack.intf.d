@@ -1,0 +1,1 @@
+examples/aocr_attack.mli:

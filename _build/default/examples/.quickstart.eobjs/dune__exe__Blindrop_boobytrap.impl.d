@@ -1,0 +1,1 @@
+examples/blindrop_boobytrap.ml: Printf R2c_attacks R2c_core R2c_defenses R2c_workloads

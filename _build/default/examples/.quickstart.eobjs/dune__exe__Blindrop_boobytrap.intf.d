@@ -1,0 +1,1 @@
+examples/blindrop_boobytrap.mli:

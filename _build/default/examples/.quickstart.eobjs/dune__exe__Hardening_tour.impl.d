@@ -1,0 +1,1 @@
+examples/hardening_tour.ml: Printf R2c_attacks R2c_defenses R2c_util R2c_workloads

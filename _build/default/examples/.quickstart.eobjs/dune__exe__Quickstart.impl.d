@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Image Insn Ir List Printf Process R2c_compiler R2c_core R2c_machine R2c_workloads String

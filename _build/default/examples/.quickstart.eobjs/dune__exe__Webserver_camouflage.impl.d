@@ -1,0 +1,1 @@
+examples/webserver_camouflage.ml: Addr Array Cpu Image List Mem Printf Process R2c_attacks R2c_compiler R2c_core R2c_defenses R2c_machine R2c_workloads

@@ -1,0 +1,1 @@
+lib/attacks/aocr.ml: Addr Array Cluster Fault List Oracle Printf Process R2c_machine R2c_util R2c_workloads Reference Report

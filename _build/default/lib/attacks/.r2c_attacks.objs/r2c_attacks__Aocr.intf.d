@@ -1,0 +1,1 @@
+lib/attacks/aocr.mli: Oracle R2c_util Reference Report

@@ -1,0 +1,1 @@
+lib/attacks/blindrop.ml: Addr Buffer Char Image List Oracle Payload Printf Process R2c_machine R2c_workloads Report String

@@ -1,0 +1,1 @@
+lib/attacks/blindrop.mli: Oracle Report

@@ -1,0 +1,1 @@
+lib/attacks/cluster.ml: List R2c_util

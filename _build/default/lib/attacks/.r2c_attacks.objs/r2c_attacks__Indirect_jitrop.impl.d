@@ -1,0 +1,1 @@
+lib/attacks/indirect_jitrop.ml: Array List Oracle Payload Printf Process R2c_machine R2c_workloads Reference Report

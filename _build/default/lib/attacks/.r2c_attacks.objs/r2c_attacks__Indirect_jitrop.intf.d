@@ -1,0 +1,1 @@
+lib/attacks/indirect_jitrop.mli: Oracle Reference Report

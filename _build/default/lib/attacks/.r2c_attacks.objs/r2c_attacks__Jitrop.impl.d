@@ -1,0 +1,1 @@
+lib/attacks/jitrop.ml: Addr Array Cluster Hashtbl Image Insn List Oracle Payload Process R2c_machine R2c_workloads Reference Report

@@ -1,0 +1,1 @@
+lib/attacks/jitrop.mli: Oracle Reference Report

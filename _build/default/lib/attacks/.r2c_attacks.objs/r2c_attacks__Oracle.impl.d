@@ -1,0 +1,1 @@
+lib/attacks/oracle.ml: Array Cpu Fault Hashtbl Image List Mem Process R2c_machine

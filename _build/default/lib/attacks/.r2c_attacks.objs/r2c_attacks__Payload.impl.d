@@ -1,0 +1,1 @@
+lib/attacks/payload.ml: Array Char String

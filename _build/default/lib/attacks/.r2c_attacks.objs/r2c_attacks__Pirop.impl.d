@@ -1,0 +1,1 @@
+lib/attacks/pirop.ml: List Oracle Payload Printf Process R2c_machine Reference Report

@@ -1,0 +1,1 @@
+lib/attacks/pirop.mli: Oracle Reference Report

@@ -1,0 +1,1 @@
+lib/attacks/ra_zeroing.ml: Addr Array Fault List Oracle Printf Process R2c_machine Report

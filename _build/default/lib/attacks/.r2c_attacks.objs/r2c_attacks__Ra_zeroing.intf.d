@@ -1,0 +1,1 @@
+lib/attacks/ra_zeroing.mli: Oracle Report

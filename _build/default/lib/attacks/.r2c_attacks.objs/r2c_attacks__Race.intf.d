@@ -1,0 +1,1 @@
+lib/attacks/race.mli: Oracle Report

@@ -1,0 +1,1 @@
+lib/attacks/reference.ml: Addr Char Cpu Hashtbl Image Insn List Mem Process R2c_machine R2c_workloads String

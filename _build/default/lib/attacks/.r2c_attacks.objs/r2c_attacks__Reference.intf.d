@@ -1,0 +1,1 @@
+lib/attacks/reference.mli: R2c_machine

@@ -1,0 +1,1 @@
+lib/attacks/report.ml: List Printf String

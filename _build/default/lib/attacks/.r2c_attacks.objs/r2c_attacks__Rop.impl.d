@@ -1,0 +1,1 @@
+lib/attacks/rop.ml: List Oracle Payload Process R2c_machine R2c_workloads Reference Report

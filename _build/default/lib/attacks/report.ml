@@ -1,0 +1,39 @@
+type t = {
+  attack : string;
+  success : bool;
+  detected : bool;
+  crashes : int;
+  attempts : int;
+  notes : string list;
+}
+
+let make ~attack ~success ~detected ?(crashes = 0) ?(attempts = 1) ?(notes = []) () =
+  { attack; success; detected; crashes; attempts; notes }
+
+let to_string r =
+  Printf.sprintf "%s: %s%s (crashes=%d attempts=%d)%s" r.attack
+    (if r.success then "SUCCESS" else "failed")
+    (if r.detected then ", DETECTED" else "")
+    r.crashes r.attempts
+    (match r.notes with [] -> "" | ns -> "\n  " ^ String.concat "\n  " ns)
+
+type summary = {
+  name : string;
+  trials : int;
+  successes : int;
+  detections : int;
+  total_crashes : int;
+}
+
+let summarize name reports =
+  {
+    name;
+    trials = List.length reports;
+    successes = List.length (List.filter (fun r -> r.success) reports);
+    detections = List.length (List.filter (fun r -> r.detected) reports);
+    total_crashes = List.fold_left (fun acc r -> acc + r.crashes) 0 reports;
+  }
+
+let summary_to_string s =
+  Printf.sprintf "%s: %d/%d succeeded, %d detected, %d crashes" s.name s.successes
+    s.trials s.detections s.total_crashes

@@ -1,0 +1,1 @@
+lib/compiler/asm.ml: Array Buffer List Opts Printf R2c_machine

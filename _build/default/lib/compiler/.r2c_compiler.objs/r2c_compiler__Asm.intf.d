@@ -1,0 +1,1 @@
+lib/compiler/asm.mli: Opts R2c_machine

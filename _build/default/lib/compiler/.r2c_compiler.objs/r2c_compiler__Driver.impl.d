@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Asm Emit Ir Link List Logs Opts R2c_machine Validate

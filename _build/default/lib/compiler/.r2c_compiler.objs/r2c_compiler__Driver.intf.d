@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Asm Ir Opts R2c_machine Validate

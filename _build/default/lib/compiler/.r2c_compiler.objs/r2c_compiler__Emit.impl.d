@@ -1,0 +1,1 @@
+lib/compiler/emit.ml: Addr Array Asm Insn Ir List Opts Printf R2c_machine Regalloc

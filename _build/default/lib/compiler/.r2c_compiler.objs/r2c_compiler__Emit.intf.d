@@ -1,0 +1,1 @@
+lib/compiler/emit.mli: Asm Ir Opts R2c_machine

@@ -1,0 +1,1 @@
+lib/compiler/link.ml: Addr Array Asm Hashtbl Image Insn Ir List Opts R2c_machine String

@@ -1,0 +1,1 @@
+lib/compiler/link.mli: Asm Ir Opts R2c_machine

@@ -1,0 +1,1 @@
+lib/compiler/opts.ml: Array Ir List R2c_machine

@@ -1,0 +1,1 @@
+lib/compiler/opts.mli: Ir R2c_machine

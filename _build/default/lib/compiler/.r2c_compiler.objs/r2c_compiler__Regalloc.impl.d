@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Hashtbl Int Ir List Option R2c_machine Set

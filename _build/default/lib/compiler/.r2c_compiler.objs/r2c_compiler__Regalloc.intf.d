@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Ir R2c_machine

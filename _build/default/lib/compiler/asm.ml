@@ -1,0 +1,40 @@
+type frame_meta = {
+  frame_size : int;
+  post_words : int;
+  ra_sites : (string * int) list;
+}
+
+type emitted = {
+  ename : string;
+  insns : R2c_machine.Insn.t array;
+  local_syms : (string * int) list;
+  ebooby_trap : bool;
+  eframe : frame_meta option;
+}
+
+let byte_size e =
+  Array.fold_left (fun acc i -> acc + R2c_machine.Insn.size i) 0 e.insns
+
+let of_raw (r : Opts.raw_func) =
+  {
+    ename = r.rname;
+    insns = Array.of_list r.rinsns;
+    local_syms = [];
+    ebooby_trap = r.rbooby_trap;
+    eframe = None;
+  }
+
+let to_string e =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s:\n" e.ename);
+  let off = ref 0 in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun (s, o) -> if o = !off then Buffer.add_string buf (Printf.sprintf "%s:\n" s))
+        e.local_syms;
+      Buffer.add_string buf
+        (Printf.sprintf "  +%-4d %s\n" !off (R2c_machine.Insn.to_string i));
+      off := !off + R2c_machine.Insn.size i)
+    e.insns;
+  Buffer.contents buf

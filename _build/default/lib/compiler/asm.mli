@@ -1,0 +1,30 @@
+(** Emitted (pre-link) functions: machine instructions plus local symbol
+    definitions (block labels and return-address symbols) as byte offsets
+    from the function entry. *)
+
+(** Unwind metadata, the .eh_frame analogue of Section 7.2.4: enough to
+    walk a stack through BTRA pre/post offsets and stack-argument pushes. *)
+type frame_meta = {
+  frame_size : int;
+  post_words : int;  (** callee-side BTRA skip *)
+  ra_sites : (string * int) list;
+      (** per call site: return-address symbol and the number of words
+          between the RA slot and the caller's frame base (pre-BTRAs plus
+          pushed stack arguments and padding) *)
+}
+
+type emitted = {
+  ename : string;
+  insns : R2c_machine.Insn.t array;
+  local_syms : (string * int) list;  (** symbol -> byte offset *)
+  ebooby_trap : bool;
+  eframe : frame_meta option;  (** None for raw functions *)
+}
+
+(** [byte_size e] — total encoded length. *)
+val byte_size : emitted -> int
+
+(** [of_raw r] — wrap a raw machine-code function. *)
+val of_raw : Opts.raw_func -> emitted
+
+val to_string : emitted -> string

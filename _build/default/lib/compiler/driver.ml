@@ -1,0 +1,21 @@
+let src = Logs.Src.create "r2c.compiler" ~doc:"R2C compiler driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Invalid_program of Validate.error list
+
+let emit_all ~opts (p : Ir.program) =
+  List.map (fun f -> Emit.emit_func ~opts f) p.funcs
+  @ List.map Asm.of_raw opts.Opts.raw_funcs
+
+let compile ?(opts = Opts.default) (p : Ir.program) =
+  (match Validate.check p with
+  | [] -> ()
+  | errors -> raise (Invalid_program errors));
+  let emitted = emit_all ~opts p in
+  let img = Link.link ~opts ~main:p.main emitted p.globals in
+  Log.debug (fun m ->
+      m "linked %s: %d functions, %d bytes of text, %d bytes of data"
+        p.main (List.length img.R2c_machine.Image.funcs) img.R2c_machine.Image.text_len
+        img.R2c_machine.Image.data_len);
+  img

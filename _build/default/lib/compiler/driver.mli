@@ -1,0 +1,13 @@
+(** The compilation pipeline: validate -> emit -> link.
+
+    [compile] with default options is the paper's baseline compiler; R2C is
+    [compile] with the options produced by [R2c_core.Pipeline]. *)
+
+exception Invalid_program of Validate.error list
+
+(** [compile ?opts program] — raises {!Invalid_program} on IR errors. *)
+val compile : ?opts:Opts.t -> Ir.program -> R2c_machine.Image.t
+
+(** [emit_all ~opts program] — the emitted functions (IR functions plus
+    [opts.raw_funcs]), pre-layout; exposed for inspection and tests. *)
+val emit_all : opts:Opts.t -> Ir.program -> Asm.emitted list

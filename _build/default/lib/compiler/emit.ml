@@ -1,0 +1,504 @@
+open R2c_machine
+
+let arg_regs = Insn.[ RDI; RSI; RDX; RCX; R8; R9 ]
+
+(* Emission buffer: instructions plus symbol definitions recorded by
+   instruction index, converted to byte offsets at the end. *)
+type eb = {
+  mutable rev : Insn.t list;
+  mutable count : int;
+  mutable sym_defs : (string * int) list;  (* name, instruction index *)
+}
+
+let eb_create () = { rev = []; count = 0; sym_defs = [] }
+
+let ins eb i =
+  eb.rev <- i :: eb.rev;
+  eb.count <- eb.count + 1
+
+let def_sym eb name = eb.sym_defs <- (name, eb.count) :: eb.sym_defs
+
+let eb_finish eb ~name ~booby_trap =
+  let insns = Array.of_list (List.rev eb.rev) in
+  (* Prefix byte offsets per instruction index. *)
+  let offsets = Array.make (Array.length insns + 1) 0 in
+  Array.iteri (fun i insn -> offsets.(i + 1) <- offsets.(i) + Insn.size insn) insns;
+  let local_syms = List.map (fun (s, idx) -> (s, offsets.(idx))) eb.sym_defs in
+  { Asm.ename = name; insns; local_syms; ebooby_trap = booby_trap; eframe = None }
+
+type frame = {
+  ir_off : int array;  (* IR slot index -> rsp offset *)
+  spill_off : int array;
+  btdp_slots : (int * int) list;  (* pointer-array index, rsp offset *)
+  save_slots : (Insn.reg * int) list;
+  frame_size : int;
+  post_words : int;
+}
+
+type slot_kind =
+  | K_ir of int
+  | K_spill of int
+  | K_btdp of int
+  | K_save of Insn.reg
+
+let build_frame ~(opts : Opts.t) (f : Ir.func) (alloc : Regalloc.result) ~btdps ~post_words =
+  let fname = f.name in
+  let kinds =
+    List.concat
+      [
+        List.init (Array.length f.slots) (fun i -> K_ir i);
+        List.init alloc.nspills (fun i -> K_spill i);
+        List.map (fun idx -> K_btdp idx) btdps;
+        List.map (fun r -> K_save r) alloc.used_regs;
+      ]
+  in
+  let n = List.length kinds in
+  let perm = opts.slot_perm ~fname ~n in
+  assert (Array.length perm = n);
+  let kinds_arr = Array.of_list kinds in
+  let ir_off = Array.make (Array.length f.slots) 0 in
+  let spill_off = Array.make alloc.nspills 0 in
+  let btdp_slots = ref [] in
+  let save_slots = ref [] in
+  let off = ref 0 in
+  Array.iter
+    (fun p ->
+      let k = kinds_arr.(p) in
+      let size =
+        match k with
+        | K_ir i -> Addr.align_up f.slots.(i) ~align:8
+        | K_spill _ | K_btdp _ | K_save _ -> 8
+      in
+      (match k with
+      | K_ir i -> ir_off.(i) <- !off
+      | K_spill i -> spill_off.(i) <- !off
+      | K_btdp idx -> btdp_slots := (idx, !off) :: !btdp_slots
+      | K_save r -> save_slots := (r, !off) :: !save_slots);
+      off := !off + size)
+    perm;
+  let pad = Addr.align_up (max 0 (opts.slot_pad_bytes ~fname)) ~align:8 in
+  let raw = !off + pad in
+  (* Entry rsp is 8 mod 16; after the post-offset and frame subtractions it
+     must be 0 mod 16 at call sites: frame + 8*post = 8 (mod 16). *)
+  let target_mod = (8 + (8 * post_words)) land 15 in
+  let frame_size =
+    let r = ref raw in
+    while !r land 15 <> target_mod do
+      r := !r + 8
+    done;
+    !r
+  in
+  {
+    ir_off;
+    spill_off;
+    btdp_slots = List.rev !btdp_slots;
+    save_slots = List.rev !save_slots;
+    frame_size;
+    post_words;
+  }
+
+type ctx = {
+  f : Ir.func;
+  opts : Opts.t;
+  alloc : Regalloc.result;
+  frame : frame;
+  eb : eb;
+  mutable push_adjust : int;  (* bytes pushed beyond the frame, live now *)
+  mutable site : int;
+  mutable ra_sites : (string * int) list;  (* unwind rows, reversed *)
+}
+
+let label_sym ctx lbl = Printf.sprintf "%s.L%d" ctx.f.name lbl
+let ra_sym fname site = Printf.sprintf "__ra_%s_%d" fname site
+
+let slot_mem ctx off = Insn.mem ~base:RSP ~disp:(off + ctx.push_adjust) ()
+
+let home ctx v = ctx.alloc.assign.(v)
+
+(* Load an operand's value into [dst] (a scratch or argument register). *)
+let load_operand ctx dst op =
+  match op with
+  | Ir.Const n -> ins ctx.eb (Insn.Mov (Reg dst, Imm (Abs n)))
+  | Ir.Var v -> (
+      match home ctx v with
+      | Regalloc.In_reg r -> if r <> dst then ins ctx.eb (Insn.Mov (Reg dst, Reg r))
+      | Regalloc.Spilled k ->
+          ins ctx.eb (Insn.Mov (Reg dst, Mem (slot_mem ctx ctx.frame.spill_off.(k)))))
+  | Ir.Global g -> ins ctx.eb (Insn.Mov (Reg dst, Imm (Sym (g, 0))))
+  | Ir.Func fn -> ins ctx.eb (Insn.Mov (Reg dst, Imm (Sym (ctx.opts.func_alias fn, 0))))
+
+(* Store scratch register [src] into a variable's home. *)
+let store_home ctx v src =
+  match home ctx v with
+  | Regalloc.In_reg r -> if r <> src then ins ctx.eb (Insn.Mov (Reg r, Reg src))
+  | Regalloc.Spilled k ->
+      ins ctx.eb (Insn.Mov (Mem (slot_mem ctx ctx.frame.spill_off.(k)), Reg src))
+
+(* A right-hand operand usable directly in a Binop/Cmp, if any. *)
+let direct_operand ctx op =
+  match op with
+  | Ir.Const n -> Some (Insn.Imm (Insn.Abs n))
+  | Ir.Var v -> (
+      match home ctx v with
+      | Regalloc.In_reg r -> Some (Insn.Reg r)
+      | Regalloc.Spilled _ -> None)
+  | Ir.Global _ | Ir.Func _ -> None
+
+let lower_binop : Ir.binop -> [ `Op of Insn.binop | `Div | `Rem ] = function
+  | Ir.Add -> `Op Insn.Add
+  | Ir.Sub -> `Op Insn.Sub
+  | Ir.Mul -> `Op Insn.Imul
+  | Ir.And -> `Op Insn.And
+  | Ir.Or -> `Op Insn.Or
+  | Ir.Xor -> `Op Insn.Xor
+  | Ir.Shl -> `Op Insn.Shl
+  | Ir.Shr -> `Op Insn.Shr
+  | Ir.Sar -> `Op Insn.Sar
+  | Ir.Div -> `Div
+  | Ir.Rem -> `Rem
+
+let lower_cmp : Ir.cmp -> Insn.cond = function
+  | Ir.Eq -> Insn.Eq
+  | Ir.Ne -> Insn.Ne
+  | Ir.Lt -> Insn.Lt
+  | Ir.Le -> Insn.Le
+  | Ir.Gt -> Insn.Gt
+  | Ir.Ge -> Insn.Ge
+
+(* Memory operand for [base + off] where base is an IR operand; folds
+   global/slot bases into a single addressing mode when possible. *)
+let base_mem ctx base off k =
+  match base with
+  | Ir.Global g -> k (Insn.mem_sym g off)
+  | _ ->
+      load_operand ctx RAX base;
+      k (Insn.mem ~base:RAX ~disp:off ())
+
+let emit_call ctx dst callee args =
+  let eb = ctx.eb in
+  let opts = ctx.opts in
+  let fname = ctx.f.name in
+  let site = ctx.site in
+  ctx.site <- site + 1;
+  let callee_kind =
+    match callee with
+    | Ir.Direct name -> Opts.Known name
+    | Ir.Indirect _ -> Opts.Unknown_indirect
+    | Ir.Builtin name -> Opts.Lib name
+  in
+  let plan = opts.callsite_btra ~fname ~site ~callee:callee_kind in
+  (* Indirect target first, into r10, before any stack motion. *)
+  (match callee with
+  | Ir.Indirect op -> load_operand ctx R10 op
+  | Ir.Direct _ | Ir.Builtin _ -> ());
+  (* Register arguments. *)
+  let nargs = List.length args in
+  List.iteri
+    (fun i arg -> if i < 6 then load_operand ctx (List.nth arg_regs i) arg)
+    args;
+  (* Stack arguments, right to left, padded to even count. *)
+  let stack_args = if nargs > 6 then List.filteri (fun i _ -> i >= 6) args else [] in
+  let k = List.length stack_args in
+  let pad = k land 1 in
+  if k > 0 then begin
+    if plan <> None && not opts.oia then
+      invalid_arg
+        (Printf.sprintf
+           "emit: %s call site %d: BTRAs on a stack-argument call require \
+            offset-invariant addressing (Section 7.4.2)"
+           fname site);
+    if pad = 1 then begin
+      ins eb (Insn.Push (Imm (Abs 0)));
+      ctx.push_adjust <- ctx.push_adjust + 8
+    end;
+    List.iter
+      (fun arg ->
+        load_operand ctx RAX arg;
+        ins eb (Insn.Push (Reg RAX));
+        ctx.push_adjust <- ctx.push_adjust + 8)
+      (List.rev stack_args);
+    (* Offset-invariant addressing: the frame pointer marks the first stack
+       argument, before any BTRA-induced variation (Section 5.1.1). *)
+    if opts.oia then ins eb (Insn.Lea (RBP, Insn.mem ~base:RSP ()))
+  end;
+  (* Call-site NOPs (Section 4.3). *)
+  List.iter (fun w -> ins eb (Insn.Nop (max 1 (min 15 w)))) (opts.nops_before_call ~fname ~site);
+  let target : Insn.t =
+    match callee with
+    | Ir.Direct name -> Insn.Call (TSym (name, 0))
+    | Ir.Builtin name -> Insn.Call (TSym (name, 0))
+    | Ir.Indirect _ -> Insn.Call_ind (Reg R10)
+  in
+  let this_ra = ra_sym fname site in
+  (* Unwind row: words between this RA slot and the caller's frame base —
+     pre-BTRAs plus pushed stack arguments and alignment padding. *)
+  let pre_words = match plan with Some p -> List.length p.Opts.pre_syms | None -> 0 in
+  ctx.ra_sites <- (this_ra, pre_words + k + pad) :: ctx.ra_sites;
+  (* Defender-side metadata: the address of the call instruction itself
+     (used by the race-window analysis and the unwinder tests). *)
+  let call_label () = def_sym eb (Printf.sprintf "__call_%s_%d" fname site) in
+  (* Section 7.3 hardening: after the return, verify that a chosen
+     pre-BTRA survived; corruption means someone probed the RA window.
+     Scratch is r11 — rax holds the callee's return value. *)
+  let emit_check (p : Opts.callsite_plan) =
+    match p.check_sym with
+    | None -> ()
+    | Some (slot, (s, o)) ->
+        let ok = Printf.sprintf "%s.Lchk%d" fname site in
+        ins eb (Insn.Mov (Reg R11, Mem (Insn.mem ~base:RSP ~disp:(8 * slot) ())));
+        ins eb (Insn.Cmp (Reg R11, Imm (Sym (s, o))));
+        ins eb (Insn.Jcc (Eq, TSym (ok, 0)));
+        ins eb Insn.Trap;
+        def_sym eb ok
+  in
+  (match plan with
+  | None ->
+      call_label ();
+      ins eb target;
+      def_sym eb this_ra
+  | Some p ->
+      let pre = p.pre_syms and post = p.post_syms in
+      if List.length pre land 1 <> 0 then
+        invalid_arg (Printf.sprintf "emit: %s site %d: odd pre-BTRA count" fname site);
+      (match callee_kind with
+      | Opts.Known callee_name ->
+          let expected = opts.post_offset_words ~fname:callee_name in
+          if List.length post <> expected then
+            invalid_arg
+              (Printf.sprintf "emit: %s site %d: post-BTRA count %d, callee %s expects %d"
+                 fname site (List.length post) callee_name expected)
+      | Opts.Unknown_indirect | Opts.Lib _ -> ());
+      let push_setup ~ra_word =
+        (* Figure 3: push pre-BTRAs, the RA word, post-BTRAs; then
+           reposition rsp above the RA slot so the call overwrites it. *)
+        List.iter (fun (s, o) -> ins eb (Insn.Push (Imm (Sym (s, o))))) pre;
+        ins eb (Insn.Push ra_word);
+        List.iter (fun (s, o) -> ins eb (Insn.Push (Imm (Sym (s, o))))) post;
+        ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * (List.length post + 1)))));
+        call_label ();
+        ins eb target;
+        def_sym eb this_ra;
+        emit_check p;
+        (* Step 7: the caller reverts the pre-offset. *)
+        if pre <> [] then ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * List.length pre))))
+      in
+      let vector_setup ~chunk_words ~load ~store ~zero_upper =
+        (* Figure 4: batch-write [pad; post; RA; pre] from the call-site
+           array in the data section, then position rsp above the RA. *)
+        let arr =
+          match p.array_global with
+          | Some a -> a
+          | None ->
+              invalid_arg
+                (Printf.sprintf "emit: %s site %d: vector plan without array" fname site)
+        in
+        let w = p.avx_pad + List.length post + 1 + List.length pre in
+        if w mod chunk_words <> 0 then
+          invalid_arg
+            (Printf.sprintf "emit: %s site %d: batch of %d words not a multiple of %d"
+               fname site w chunk_words);
+        let chunk_bytes = 8 * chunk_words in
+        for j = 0 to (w / chunk_words) - 1 do
+          ins eb (load 13 (Insn.mem_sym arr (chunk_bytes * j)));
+          ins eb (store (Insn.mem ~base:RSP ~disp:((-8 * w) + (chunk_bytes * j)) ()) 13)
+        done;
+        if zero_upper then ins eb Insn.Vzeroupper;
+        ins eb (Insn.Lea (RSP, Insn.mem ~base:RSP ~disp:(-8 * List.length pre) ()));
+        call_label ();
+        ins eb target;
+        def_sym eb this_ra;
+        emit_check p;
+        if pre <> [] then ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * List.length pre))))
+      in
+      (match p.setup with
+      | Opts.Push_setup -> push_setup ~ra_word:(Insn.Imm (Sym (this_ra, 0)))
+      | Opts.Push_naive ->
+          (* The rejected kR^X-style scheme: a decoy sits in the RA slot
+             until the call instruction replaces it — the Section 5.1 race
+             window an observer can exploit. *)
+          let dummy =
+            match p.dummy_sym with
+            | Some (s, o) -> Insn.Imm (Insn.Sym (s, o))
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "emit: %s site %d: naive plan without dummy" fname site)
+          in
+          push_setup ~ra_word:dummy
+      | Opts.Sse_setup ->
+          vector_setup ~chunk_words:2
+            ~load:(fun r m -> Insn.Vload128 (r, m))
+            ~store:(fun m r -> Insn.Vstore128 (m, r))
+            ~zero_upper:false
+      | Opts.Avx_setup ->
+          vector_setup ~chunk_words:4
+            ~load:(fun r m -> Insn.Vload (r, m))
+            ~store:(fun m r -> Insn.Vstore (m, r))
+            ~zero_upper:true
+      | Opts.Avx512_setup ->
+          vector_setup ~chunk_words:8
+            ~load:(fun r m -> Insn.Vload512 (r, m))
+            ~store:(fun m r -> Insn.Vstore512 (m, r))
+            ~zero_upper:true));
+  (* Pop stack arguments and padding. *)
+  if k + pad > 0 then begin
+    ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * (k + pad)))));
+    ctx.push_adjust <- ctx.push_adjust - (8 * (k + pad))
+  end;
+  match dst with Some v -> store_home ctx v RAX | None -> ()
+
+let emit_instr ctx (instr : Ir.instr) =
+  let eb = ctx.eb in
+  match instr with
+  | Ir.Mov (v, op) -> (
+      match (home ctx v, op) with
+      | Regalloc.In_reg r, _ ->
+          load_operand ctx r op
+      | Regalloc.Spilled _, _ ->
+          load_operand ctx RAX op;
+          store_home ctx v RAX)
+  | Ir.Binop (v, op, a, b) -> (
+      load_operand ctx RAX a;
+      let rhs =
+        match direct_operand ctx b with
+        | Some o -> o
+        | None ->
+            load_operand ctx RCX b;
+            Insn.Reg RCX
+      in
+      (match lower_binop op with
+      | `Op o -> ins eb (Insn.Binop (o, RAX, rhs))
+      | `Div -> ins eb (Insn.Div (RAX, rhs))
+      | `Rem -> ins eb (Insn.Rem (RAX, rhs)));
+      store_home ctx v RAX)
+  | Ir.Cmp (v, c, a, b) ->
+      load_operand ctx RAX a;
+      let rhs =
+        match direct_operand ctx b with
+        | Some o -> o
+        | None ->
+            load_operand ctx RCX b;
+            Insn.Reg RCX
+      in
+      ins eb (Insn.Cmp (Reg RAX, rhs));
+      ins eb (Insn.Setcc (lower_cmp c, RAX));
+      store_home ctx v RAX
+  | Ir.Load (v, base, off) ->
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Reg RAX, Mem m)));
+      store_home ctx v RAX
+  | Ir.Load8 (v, base, off) ->
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Reg RAX, Mem m)));
+      store_home ctx v RAX
+  | Ir.Store (base, off, value) ->
+      load_operand ctx RCX value;
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Mem m, Reg RCX)))
+  | Ir.Store8 (base, off, value) ->
+      load_operand ctx RCX value;
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Mem m, Reg RCX)))
+  | Ir.Slot_addr (v, i) ->
+      ins eb (Insn.Lea (RAX, slot_mem ctx ctx.frame.ir_off.(i)));
+      store_home ctx v RAX
+  | Ir.Call (dst, callee, args) -> emit_call ctx dst callee args
+
+let emit_epilogue ctx ret_op =
+  let eb = ctx.eb in
+  (match ret_op with Some op -> load_operand ctx RAX op | None -> ());
+  List.iter
+    (fun (r, off) -> ins eb (Insn.Mov (Reg r, Mem (slot_mem ctx off))))
+    ctx.frame.save_slots;
+  if ctx.frame.frame_size > 0 then
+    ins eb (Insn.Binop (Add, RSP, Imm (Abs ctx.frame.frame_size)));
+  (* Figure 3 step 5: the callee reverts the post-offset before ret. *)
+  if ctx.frame.post_words > 0 then
+    ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * ctx.frame.post_words))));
+  ins eb Insn.Ret
+
+let emit_term ctx ~next_lbl (term : Ir.term) =
+  let eb = ctx.eb in
+  match term with
+  | Ir.Ret op -> emit_epilogue ctx op
+  | Ir.Br l -> if next_lbl <> Some l then ins eb (Insn.Jmp (TSym (label_sym ctx l, 0)))
+  | Ir.Cond_br (c, l1, l2) ->
+      load_operand ctx RAX c;
+      ins eb (Insn.Cmp (Reg RAX, Imm (Abs 0)));
+      ins eb (Insn.Jcc (Ne, TSym (label_sym ctx l1, 0)));
+      if next_lbl <> Some l2 then ins eb (Insn.Jmp (TSym (label_sym ctx l2, 0)))
+
+let emit_func ~(opts : Opts.t) (f : Ir.func) =
+  let fname = f.name in
+  let alloc = Regalloc.allocate ~pool:(opts.reg_pool ~fname) f in
+  let writes_frame = Array.length f.slots > 0 || alloc.nspills > 0 in
+  let btdps =
+    match opts.btdp_array_sym with
+    | Some _ -> opts.btdp_indices ~fname ~writes_frame
+    | None -> []
+  in
+  let post_words = opts.post_offset_words ~fname in
+  let frame = build_frame ~opts f alloc ~btdps ~post_words in
+  let ctx =
+    { f; opts; alloc; frame; eb = eb_create (); push_adjust = 0; site = 0; ra_sites = [] }
+  in
+  let eb = ctx.eb in
+  (* Prolog traps: jumped over on the legitimate path (Section 4.3). *)
+  let traps = opts.prolog_traps ~fname in
+  if traps > 0 then begin
+    let body = fname ^ ".Lprolog" in
+    ins eb (Insn.Jmp (TSym (body, 0)));
+    for _ = 1 to traps do
+      ins eb Insn.Trap
+    done;
+    def_sym eb body
+  end;
+  (* Figure 3 step 4: skip below the post-offset BTRAs. *)
+  if post_words > 0 then ins eb (Insn.Binop (Sub, RSP, Imm (Abs (8 * post_words))));
+  if frame.frame_size > 0 then
+    ins eb (Insn.Binop (Sub, RSP, Imm (Abs frame.frame_size)));
+  List.iter
+    (fun (r, off) -> ins eb (Insn.Mov (Mem (slot_mem ctx off), Reg r)))
+    frame.save_slots;
+  (* BTDPs: copy camouflage pointers from the heap array into the frame
+     (Section 5.2). *)
+  (match (btdps, opts.btdp_array_sym) with
+  | [], _ | _, None -> ()
+  | _ :: _, Some arr_sym ->
+      ins eb (Insn.Mov (Reg R11, Mem (Insn.mem_sym arr_sym 0)));
+      List.iter
+        (fun (idx, off) ->
+          ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:R11 ~disp:(8 * idx) ())));
+          ins eb (Insn.Mov (Mem (slot_mem ctx off), Reg RAX)))
+        frame.btdp_slots);
+  (* Parameters to their homes. *)
+  List.iteri
+    (fun i r -> if i < f.nparams then store_home ctx i r)
+    arg_regs;
+  for j = 6 to f.nparams - 1 do
+    if opts.oia then
+      ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:RBP ~disp:(8 * (j - 6)) ())))
+    else begin
+      let disp = frame.frame_size + (8 * post_words) + 8 + (8 * (j - 6)) in
+      ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:RSP ~disp ())))
+    end;
+    store_home ctx j RAX
+  done;
+  (* Body. *)
+  let rec blocks = function
+    | [] -> ()
+    | (b : Ir.block) :: rest ->
+        def_sym eb (label_sym ctx b.lbl);
+        List.iter (emit_instr ctx) b.body;
+        let next_lbl = match rest with nb :: _ -> Some nb.Ir.lbl | [] -> None in
+        emit_term ctx ~next_lbl b.term;
+        blocks rest
+  in
+  blocks f.blocks;
+  assert (ctx.push_adjust = 0);
+  let emitted = eb_finish eb ~name:fname ~booby_trap:false in
+  {
+    emitted with
+    Asm.eframe =
+      Some
+        {
+          Asm.frame_size = frame.frame_size;
+          post_words;
+          ra_sites = List.rev ctx.ra_sites;
+        };
+  }

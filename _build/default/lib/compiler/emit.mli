@@ -1,0 +1,27 @@
+(** Instruction selection and function emission.
+
+    Lowers one IR function to M64 code, weaving in every diversification the
+    {!Opts.t} requests:
+
+    - prolog traps jumped over at entry (Section 4.3);
+    - the callee-side BTRA post-offset around the frame (Figure 3, steps 4
+      and 5);
+    - BTDP stores from the heap pointer array into permuted frame slots
+      (Section 5.2);
+    - frame-slot permutation and padding (stack slot randomization);
+    - call-site NOPs, and the BTRA push or AVX2 setup sequences of
+      Figures 3 and 4, including the stack-alignment parity rules of
+      Section 5.1;
+    - offset-invariant addressing for stack arguments (Section 5.1.1).
+
+    The System V-flavoured convention: arguments in rdi, rsi, rdx, rcx, r8,
+    r9, further arguments on the stack; result in rax; rbx and r12-r15
+    callee-saved (the register-allocation pool); rax, rcx, r10, r11
+    scratch; rbp reserved for offset-invariant addressing. *)
+
+val arg_regs : R2c_machine.Insn.reg list
+
+(** [emit_func ~opts f] — emit one function. Raises [Invalid_argument] on
+    unsupported combinations (BTRAs on stack-argument call sites without
+    offset-invariant addressing — the Section 7.4.2 limitation). *)
+val emit_func : opts:Opts.t -> Ir.func -> Asm.emitted

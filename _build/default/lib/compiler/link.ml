@@ -1,0 +1,171 @@
+open R2c_machine
+
+let plt_entry_bytes = 16
+
+let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.global list) =
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let define name addr =
+    if Hashtbl.mem symbols name then invalid_arg ("link: duplicate symbol " ^ name);
+    Hashtbl.replace symbols name addr
+  in
+  let text_base = Addr.text_base + opts.text_slide in
+  let builtin_addrs = Hashtbl.create 16 in
+  List.iteri
+    (fun i name ->
+      let a = text_base + (i * plt_entry_bytes) in
+      Hashtbl.replace builtin_addrs a name;
+      define name a)
+    Image.builtin_names;
+  (* _start: run constructors, call main, halt with main's result. *)
+  let start_insns =
+    List.map (fun c -> Insn.Call (TSym (c, 0))) opts.constructors
+    @ [ Insn.Call (TSym (main, 0)); Insn.Halt ]
+  in
+  let start_base = text_base + (List.length Image.builtin_names * plt_entry_bytes) in
+  define "_start" start_base;
+  let start_len =
+    List.fold_left (fun acc i -> acc + Insn.size i) 0 start_insns
+  in
+  (* Function placement. *)
+  let by_name = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Asm.emitted) ->
+      if Hashtbl.mem by_name e.ename then invalid_arg ("link: duplicate function " ^ e.ename);
+      Hashtbl.replace by_name e.ename e)
+    emitted;
+  let names = List.map (fun (e : Asm.emitted) -> e.Asm.ename) emitted in
+  let order = opts.func_order names in
+  if List.length order <> List.length names then
+    invalid_arg "link: func_order changed the number of functions";
+  List.iter
+    (fun n -> if not (Hashtbl.mem by_name n) then invalid_arg ("link: func_order invented " ^ n))
+    order;
+  let cursor = ref (start_base + start_len) in
+  let placed =
+    List.map
+      (fun name ->
+        let e = Hashtbl.find by_name name in
+        let entry = !cursor in
+        define e.Asm.ename entry;
+        List.iter (fun (s, off) -> define s (entry + off)) e.Asm.local_syms;
+        let len = Asm.byte_size e in
+        cursor := !cursor + len + max 0 (opts.func_pad ~fname:name);
+        (e, entry, len))
+      order
+  in
+  let text_len = !cursor - text_base in
+  if text_base + text_len > Addr.text_limit then invalid_arg "link: text region overflow";
+  (* Data layout. *)
+  let data_base = Addr.data_base + opts.data_slide in
+  let ordered_globals = opts.global_order (globals @ opts.extra_globals) in
+  let dcursor = ref data_base in
+  let global_addr =
+    List.map
+      (fun ((g : Ir.global), pad) ->
+        let addr = Addr.align_up !dcursor ~align:16 in
+        define g.gname addr;
+        dcursor := addr + g.gsize + max 0 pad;
+        (g, addr))
+      ordered_globals
+  in
+  let data_len = max Addr.page_size (!dcursor - data_base) in
+  if data_base + data_len > Addr.data_limit then invalid_arg "link: data region overflow";
+  (* Resolution. *)
+  let resolve s off =
+    match Hashtbl.find_opt symbols s with
+    | Some a -> a + off
+    | None -> invalid_arg ("link: undefined symbol " ^ s)
+  in
+  let code = Hashtbl.create 4096 in
+  let code_list = ref [] in
+  let add_insn addr insn len =
+    Hashtbl.replace code addr (insn, len);
+    code_list := (addr, insn, len) :: !code_list
+  in
+  let place_insns base insns =
+    List.fold_left
+      (fun addr insn ->
+        (* Length from the pre-resolution form: layout and execution must
+           agree even when resolution changes an immediate's width. *)
+        let len = Insn.size insn in
+        let resolved = Insn.map_syms resolve insn in
+        assert (Insn.is_resolved resolved);
+        add_insn addr resolved len;
+        addr + len)
+      base insns
+  in
+  let (_ : int) = place_insns start_base start_insns in
+  let unwind_sites = Hashtbl.create 1024 in
+  let unwind_rows = ref [] in
+  let funcs =
+    List.map
+      (fun ((e : Asm.emitted), entry, len) ->
+        let (_ : int) = place_insns entry (Array.to_list e.insns) in
+        (match e.eframe with
+        | Some meta ->
+            unwind_rows := (entry, len, meta.Asm.frame_size, meta.Asm.post_words) :: !unwind_rows;
+            List.iter
+              (fun (ra, words) -> Hashtbl.replace unwind_sites (resolve ra 0) words)
+              meta.Asm.ra_sites
+        | None -> ());
+        { Image.fname = e.ename; entry; code_len = len; is_booby_trap = e.ebooby_trap })
+      placed
+  in
+  let unwind_funcs =
+    let arr = Array.of_list !unwind_rows in
+    Array.sort compare arr;
+    arr
+  in
+  (* Global initialisers. Function symbols go through the code-pointer
+     alias (CPH trampolines for defense models). *)
+  let is_func = Hashtbl.mem by_name in
+  let alias s = if is_func s then opts.func_alias s else s in
+  let data_words = ref [] in
+  let data_bytes = ref [] in
+  List.iter
+    (fun ((g : Ir.global), addr) ->
+      let (_ : int) =
+        List.fold_left
+          (fun off item ->
+            match item with
+            | Ir.Word v ->
+                data_words := (addr + off, v) :: !data_words;
+                off + 8
+            | Ir.Sym_addr s ->
+                data_words := (addr + off, resolve (alias s) 0) :: !data_words;
+                off + 8
+            | Ir.Sym_addr_off (s, o) ->
+                data_words := (addr + off, resolve s o) :: !data_words;
+                off + 8
+            | Ir.Str s ->
+                data_bytes := (addr + off, s) :: !data_bytes;
+                off + String.length s)
+          0 g.ginit
+      in
+      ())
+    global_addr;
+  let code_list =
+    let arr = Array.of_list !code_list in
+    Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+    arr
+  in
+  {
+    Image.code;
+    code_list;
+    text_base;
+    text_len;
+    text_perm = opts.text_perm;
+    data_base;
+    data_len;
+    data_words = List.rev !data_words;
+    data_bytes = List.rev !data_bytes;
+    symbols;
+    funcs;
+    entry = start_base;
+    builtin_addrs;
+    stack_bytes = opts.stack_bytes;
+    heap_base = Addr.heap_base + opts.heap_slide;
+    unwind_funcs;
+    unwind_sites;
+    shadow_stack = opts.shadow_stack;
+  }

@@ -1,0 +1,16 @@
+(** Layout and linking.
+
+    Assigns text addresses (builtin PLT entries first, then the synthesized
+    [_start], then all functions in the — possibly shuffled — order from
+    {!Opts.t.func_order}), lays out globals in the data section in the —
+    possibly shuffled and padded — order from {!Opts.t.global_order},
+    resolves every symbolic immediate, and produces the {!Image.t} the
+    loader maps.
+
+    ASLR is the [*_slide] fields of {!Opts.t}: a fresh link per process,
+    exactly like a PIE load. *)
+
+(** [link ~opts ~main emitted globals] — [emitted] must contain [main] and
+    every constructor named in [opts]. *)
+val link :
+  opts:Opts.t -> main:string -> Asm.emitted list -> Ir.global list -> R2c_machine.Image.t

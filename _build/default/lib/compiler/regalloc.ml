@@ -1,0 +1,166 @@
+type assignment =
+  | In_reg of R2c_machine.Insn.reg
+  | Spilled of int
+
+type result = {
+  assign : assignment array;
+  nspills : int;
+  used_regs : R2c_machine.Insn.reg list;
+}
+
+let operand_vars = function
+  | Ir.Var v -> [ v ]
+  | Ir.Const _ | Ir.Global _ | Ir.Func _ -> []
+
+let instr_uses = function
+  | Ir.Mov (_, op) -> operand_vars op
+  | Ir.Binop (_, _, a, b) | Ir.Cmp (_, _, a, b) -> operand_vars a @ operand_vars b
+  | Ir.Load (_, base, _) | Ir.Load8 (_, base, _) -> operand_vars base
+  | Ir.Store (base, _, value) | Ir.Store8 (base, _, value) ->
+      operand_vars base @ operand_vars value
+  | Ir.Slot_addr (_, _) -> []
+  | Ir.Call (_, callee, args) ->
+      (match callee with
+      | Ir.Indirect op -> operand_vars op
+      | Ir.Direct _ | Ir.Builtin _ -> [])
+      @ List.concat_map operand_vars args
+
+let instr_defs = function
+  | Ir.Mov (v, _)
+  | Ir.Binop (v, _, _, _)
+  | Ir.Cmp (v, _, _, _)
+  | Ir.Load (v, _, _)
+  | Ir.Load8 (v, _, _)
+  | Ir.Slot_addr (v, _) -> [ v ]
+  | Ir.Store _ | Ir.Store8 _ -> []
+  | Ir.Call (dst, _, _) -> Option.to_list dst
+
+let term_uses = function
+  | Ir.Ret None -> []
+  | Ir.Ret (Some op) -> operand_vars op
+  | Ir.Br _ -> []
+  | Ir.Cond_br (c, _, _) -> operand_vars c
+
+let term_succs = function
+  | Ir.Ret _ -> []
+  | Ir.Br l -> [ l ]
+  | Ir.Cond_br (_, l1, l2) -> [ l1; l2 ]
+
+module IntSet = Set.Make (Int)
+
+(* Conservative live intervals over a linear numbering of instructions:
+   a variable's interval covers every position where it is mentioned plus
+   the full extent of every block at whose boundary it is live. This over-
+   approximates around loops, which is all linear scan needs for
+   correctness. *)
+let intervals (f : Ir.func) =
+  let nblocks = List.length f.blocks in
+  let blocks = Array.of_list f.blocks in
+  let index_of_label = Hashtbl.create 8 in
+  Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace index_of_label b.lbl i) blocks;
+  (* Position ranges per block. *)
+  let starts = Array.make nblocks 0 in
+  let stops = Array.make nblocks 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      starts.(i) <- !pos;
+      pos := !pos + List.length b.body + 1;
+      stops.(i) <- !pos - 1)
+    blocks;
+  (* use/def per block. *)
+  let gen = Array.make nblocks IntSet.empty in
+  let kill = Array.make nblocks IntSet.empty in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      (* Backward within the block: use before def exposes the use. *)
+      let g = ref (IntSet.of_list (term_uses b.term)) in
+      let k = ref IntSet.empty in
+      List.iter
+        (fun instr ->
+          let defs = instr_defs instr in
+          List.iter (fun v -> g := IntSet.remove v !g) defs;
+          List.iter (fun v -> k := IntSet.add v !k) defs;
+          List.iter (fun v -> g := IntSet.add v !g) (instr_uses instr))
+        (List.rev b.body);
+      gen.(i) <- !g;
+      kill.(i) <- !k)
+    blocks;
+  let live_in = Array.make nblocks IntSet.empty in
+  let live_out = Array.make nblocks IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nblocks - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt index_of_label l with
+            | Some j -> IntSet.union acc live_in.(j)
+            | None -> acc)
+          IntSet.empty
+          (term_succs blocks.(i).term)
+      in
+      let inn = IntSet.union gen.(i) (IntSet.diff out kill.(i)) in
+      if not (IntSet.equal out live_out.(i)) || not (IntSet.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  let lo = Array.make f.nvars max_int in
+  let hi = Array.make f.nvars (-1) in
+  let touch v p =
+    if p < lo.(v) then lo.(v) <- p;
+    if p > hi.(v) then hi.(v) <- p
+  in
+  (* Parameters are defined at function entry. *)
+  for v = 0 to f.nparams - 1 do
+    touch v 0
+  done;
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      IntSet.iter (fun v -> touch v starts.(i)) live_in.(i);
+      IntSet.iter (fun v -> touch v stops.(i)) live_out.(i);
+      let p = ref starts.(i) in
+      List.iter
+        (fun instr ->
+          List.iter (fun v -> touch v !p) (instr_uses instr);
+          List.iter (fun v -> touch v !p) (instr_defs instr);
+          incr p)
+        b.body;
+      List.iter (fun v -> touch v !p) (term_uses b.term))
+    blocks;
+  Array.init f.nvars (fun v -> if hi.(v) < 0 then (0, 0) else (lo.(v), hi.(v)))
+
+let allocate ~pool (f : Ir.func) =
+  let ivals = intervals f in
+  let order = List.init f.nvars (fun v -> v) in
+  let order = List.sort (fun a b -> compare (fst ivals.(a)) (fst ivals.(b))) order in
+  let assign = Array.make f.nvars (Spilled 0) in
+  let free = ref pool in
+  let active = ref [] (* (stop, var, reg), sorted by stop *) in
+  let used = Hashtbl.create 8 in
+  let nspills = ref 0 in
+  let expire start =
+    let expired, still = List.partition (fun (stop, _, _) -> stop < start) !active in
+    List.iter (fun (_, _, r) -> free := r :: !free) expired;
+    active := still
+  in
+  List.iter
+    (fun v ->
+      let start, stop = ivals.(v) in
+      expire start;
+      match !free with
+      | r :: rest ->
+          free := rest;
+          assign.(v) <- In_reg r;
+          Hashtbl.replace used r ();
+          active := List.sort compare ((stop, v, r) :: !active)
+      | [] ->
+          assign.(v) <- Spilled !nspills;
+          incr nspills)
+    order;
+  let used_regs = List.filter (Hashtbl.mem used) pool in
+  { assign; nspills = !nspills; used_regs }

@@ -1,0 +1,1 @@
+lib/core/boobytrap.ml: Array Hashtbl Insn List Printf R2c_compiler R2c_machine R2c_util

@@ -1,0 +1,1 @@
+lib/core/boobytrap.mli: R2c_compiler R2c_util

@@ -1,0 +1,1 @@
+lib/core/btdp.ml: Array Builder Char Dconfig Ir List Printf R2c_util String

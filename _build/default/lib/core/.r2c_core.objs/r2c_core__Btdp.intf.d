@@ -1,0 +1,1 @@
+lib/core/btdp.mli: Dconfig Ir R2c_util

@@ -1,0 +1,1 @@
+lib/core/btra.ml: Boobytrap Dconfig Hashtbl Ir List Printf R2c_compiler R2c_util

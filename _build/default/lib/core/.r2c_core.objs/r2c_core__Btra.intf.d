@@ -1,0 +1,1 @@
+lib/core/btra.mli: Boobytrap Dconfig Hashtbl Ir R2c_compiler R2c_util

@@ -1,0 +1,1 @@
+lib/core/dconfig.ml: List Printf String

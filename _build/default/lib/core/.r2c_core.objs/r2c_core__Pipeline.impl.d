@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Boobytrap Btdp Btra Char Dconfig Hashtbl Ir List Logs Printf R2c_compiler R2c_machine R2c_util String

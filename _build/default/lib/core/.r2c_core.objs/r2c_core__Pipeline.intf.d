@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dconfig Ir R2c_compiler R2c_machine

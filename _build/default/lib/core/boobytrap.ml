@@ -1,0 +1,100 @@
+module Rng = R2c_util.Rng
+module Opts = R2c_compiler.Opts
+open R2c_machine
+
+type target = string * int
+
+let generate rng ~count =
+  let funcs = ref [] in
+  let targets = ref [] in
+  for i = 0 to count - 1 do
+    let name = Printf.sprintf "__bt_%d" i in
+    (* A run of single-byte NOPs sliding into traps: any entry offset within
+       the NOP run behaves like a plausible code address until used. *)
+    let nops = Rng.int_in_range rng ~lo:2 ~hi:8 in
+    let insns = List.init nops (fun _ -> Insn.Nop 1) @ [ Insn.Trap; Insn.Trap ] in
+    funcs := { Opts.rname = name; rinsns = insns; rbooby_trap = true } :: !funcs;
+    for k = 0 to nops do
+      targets := (name, k) :: !targets
+    done
+  done;
+  (List.rev !funcs, Array.of_list (List.rev !targets))
+
+(* Usage-balanced sampling in O(1) per draw: targets live in buckets by
+   usage count; a draw takes a random element of the lowest non-empty
+   bucket and promotes it. Whole-program instrumentation visits hundreds of
+   thousands of call sites, so this path must be cheap. *)
+
+type vec = { mutable data : int array; mutable len : int }
+
+let vec_create () = { data = Array.make 8 0; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let d = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_swap_remove v i =
+  let x = v.data.(i) in
+  v.data.(i) <- v.data.(v.len - 1);
+  v.len <- v.len - 1;
+  x
+
+type pool = {
+  targets : target array;
+  usage : int array;
+  mutable buckets : vec array;  (* usage -> indices *)
+  mutable min_usage : int;
+}
+
+let pool_of_targets targets =
+  let n = Array.length targets in
+  let b0 = vec_create () in
+  for i = 0 to n - 1 do
+    vec_push b0 i
+  done;
+  { targets; usage = Array.make n 0; buckets = [| b0 |]; min_usage = 0 }
+
+let ensure_bucket pool u =
+  if u >= Array.length pool.buckets then begin
+    let b = Array.init (u + 4) (fun i ->
+        if i < Array.length pool.buckets then pool.buckets.(i) else vec_create ())
+    in
+    pool.buckets <- b
+  end
+
+let draw rng pool =
+  while pool.buckets.(pool.min_usage).len = 0 do
+    pool.min_usage <- pool.min_usage + 1;
+    ensure_bucket pool pool.min_usage
+  done;
+  let b = pool.buckets.(pool.min_usage) in
+  let i = vec_swap_remove b (Rng.int rng b.len) in
+  let u = pool.usage.(i) + 1 in
+  pool.usage.(i) <- u;
+  ensure_bucket pool u;
+  vec_push pool.buckets.(u) i;
+  i
+
+let pick rng pool ~n =
+  let m = Array.length pool.targets in
+  if n > m then invalid_arg "Boobytrap.pick: pool too small";
+  (* Distinctness within one call site (mimicry property A): retry the rare
+     duplicate draws that happen when a bucket drains mid-pick. *)
+  let chosen = Hashtbl.create 16 in
+  let rec take k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let i = draw rng pool in
+      if Hashtbl.mem chosen i then take k acc
+      else begin
+        Hashtbl.replace chosen i ();
+        take (k - 1) (pool.targets.(i) :: acc)
+      end
+    end
+  in
+  take n []

@@ -1,0 +1,22 @@
+(** Booby-trap functions (Section 4.1).
+
+    Small trap-bodied functions distributed through the text section by
+    function shuffling. BTRAs point at byte offsets inside them, so a
+    booby-trapped return address has the same value range as a benign one;
+    transferring control there raises {!R2c_machine.Fault.constructor-Booby_trap}. *)
+
+type target = string * int  (** function symbol, byte offset *)
+
+(** [generate rng ~count] — [count] booby-trap functions of randomized
+    length, plus the pool of distinct BTRA target addresses they provide. *)
+val generate : R2c_util.Rng.t -> count:int -> R2c_compiler.Opts.raw_func list * target array
+
+(** A usage-balanced target pool: {!pick} prefers the least-used targets
+    with random tie-breaking, implementing the paper's avoid-reuse-between-
+    call-sites policy with tolerated occasional reuse (Section 4.1). *)
+type pool
+
+val pool_of_targets : target array -> pool
+
+(** [pick rng pool ~n] — [n] distinct targets. *)
+val pick : R2c_util.Rng.t -> pool -> n:int -> target list

@@ -1,0 +1,171 @@
+module Rng = R2c_util.Rng
+module B = Builder
+
+type t = {
+  ctor : Ir.func;
+  globals : Ir.global list;
+  array_sym : string;
+  cfg : Dconfig.btdp;
+  seed : int;
+}
+
+let ctor_name = "__r2c_btdp_init"
+
+let g_tmp = "__r2c_btdp_tmp"
+let g_kept = "__r2c_btdp_kept"
+let g_keep = "__r2c_btdp_keep"
+let g_pick = "__r2c_btdp_pick"
+let g_offs = "__r2c_btdp_offs"
+let g_arrp = "__r2c_btdp_arrp"
+
+let decoy_name d = Printf.sprintf "__r2c_btdp_decoy_%d" d
+
+(* A counted loop: body receives the counter value as an operand. *)
+let counted_loop fb ~bound body =
+  let ctr = B.slot fb 8 in
+  let ctr_addr = B.slot_addr fb ctr in
+  B.store fb ctr_addr 0 (Ir.Const 0);
+  let header = B.new_block fb and bodyl = B.new_block fb and fin = B.new_block fb in
+  B.br fb header;
+  B.switch_to fb header;
+  let i = B.load fb ctr_addr 0 in
+  let c = B.cmp fb Ir.Lt i (Ir.Const bound) in
+  B.cond_br fb c bodyl fin;
+  B.switch_to fb bodyl;
+  let i' = B.load fb ctr_addr 0 in
+  body i';
+  let inext = B.binop fb Ir.Add i' (Ir.Const 1) in
+  B.store fb ctr_addr 0 inext;
+  B.br fb header;
+  B.switch_to fb fin
+
+let build ~rng ~cfg ~seed =
+  let ar = cfg.Dconfig.alloc_rounds in
+  let gp = cfg.Dconfig.guard_pages in
+  let asz = cfg.Dconfig.array_size in
+  assert (gp <= ar && gp > 0 && asz > 0);
+  (* Compile-time random choices. *)
+  let keep_mask = Array.make ar 0 in
+  let kept_indices =
+    Rng.sample_without_replacement rng ~k:gp (Array.init ar (fun i -> i))
+  in
+  List.iter (fun i -> keep_mask.(i) <- 1) kept_indices;
+  let picks = Array.init asz (fun _ -> Rng.int rng gp) in
+  (* Array offsets are 8-aligned; decoys use offsets that are 4 mod 8, so a
+     decoy value never coincides with an array value (Figure 5's "never
+     occur on the stack"). *)
+  let offs = Array.init asz (fun _ -> Rng.int rng 512 * 8) in
+  let decoys =
+    List.init cfg.Dconfig.decoys (fun d ->
+        (decoy_name d, Rng.int rng gp, (Rng.int rng 511 * 8) + 4))
+  in
+  let globals =
+    [
+      { Ir.gname = g_tmp; gsize = 8 * ar; ginit = [] };
+      { Ir.gname = g_kept; gsize = 8 * gp; ginit = [] };
+      {
+        Ir.gname = g_keep;
+        gsize = ar;
+        ginit = [ Ir.Str (String.init ar (fun i -> Char.chr keep_mask.(i))) ];
+      };
+      {
+        Ir.gname = g_pick;
+        gsize = 8 * asz;
+        ginit = Array.to_list (Array.map (fun v -> Ir.Word v) picks);
+      };
+      {
+        Ir.gname = g_offs;
+        gsize = 8 * asz;
+        ginit = Array.to_list (Array.map (fun v -> Ir.Word v) offs);
+      };
+      { Ir.gname = g_arrp; gsize = 8; ginit = [] };
+    ]
+    @ List.map (fun (name, _, _) -> { Ir.gname = name; gsize = 8; ginit = [] }) decoys
+  in
+  (* The constructor. *)
+  let fb = B.func ctor_name ~nparams:0 in
+  (* Phase 1: allocate all chunks. *)
+  counted_loop fb ~bound:ar (fun i ->
+      let p = B.call fb (Ir.Builtin "malloc_pages") [ Ir.Const 1 ] in
+      let off = B.binop fb Ir.Mul i (Ir.Const 8) in
+      let slot = B.binop fb Ir.Add (Ir.Global g_tmp) off in
+      B.store fb slot 0 p);
+  (* Phase 2: keep the chosen subset, free the rest (this is what scatters
+     the survivors across the heap). *)
+  let kept_ctr = B.slot fb 8 in
+  let kept_ctr_addr = B.slot_addr fb kept_ctr in
+  B.store fb kept_ctr_addr 0 (Ir.Const 0);
+  counted_loop fb ~bound:ar (fun i ->
+      let keep_addr = B.binop fb Ir.Add (Ir.Global g_keep) i in
+      let keep = B.load8 fb keep_addr 0 in
+      let off = B.binop fb Ir.Mul i (Ir.Const 8) in
+      let tmp_slot = B.binop fb Ir.Add (Ir.Global g_tmp) off in
+      let chunk = B.load fb tmp_slot 0 in
+      let yes = B.new_block fb and no = B.new_block fb and join = B.new_block fb in
+      B.cond_br fb keep yes no;
+      B.switch_to fb yes;
+      let j = B.load fb kept_ctr_addr 0 in
+      let joff = B.binop fb Ir.Mul j (Ir.Const 8) in
+      let kept_slot = B.binop fb Ir.Add (Ir.Global g_kept) joff in
+      B.store fb kept_slot 0 chunk;
+      let j' = B.binop fb Ir.Add j (Ir.Const 1) in
+      B.store fb kept_ctr_addr 0 j';
+      B.br fb join;
+      B.switch_to fb no;
+      B.call_void fb (Ir.Builtin "free") [ chunk ];
+      B.br fb join;
+      B.switch_to fb join);
+  (* Phase 3: the pointer array lives on the heap; only its address goes to
+     the data section. *)
+  let arr = B.call fb (Ir.Builtin "malloc") [ Ir.Const (8 * asz) ] in
+  let arr_slot = B.slot fb 8 in
+  let arr_slot_addr = B.slot_addr fb arr_slot in
+  B.store fb arr_slot_addr 0 arr;
+  counted_loop fb ~bound:asz (fun k ->
+      let koff = B.binop fb Ir.Mul k (Ir.Const 8) in
+      let pick_slot = B.binop fb Ir.Add (Ir.Global g_pick) koff in
+      let pi = B.load fb pick_slot 0 in
+      let pioff = B.binop fb Ir.Mul pi (Ir.Const 8) in
+      let kept_slot = B.binop fb Ir.Add (Ir.Global g_kept) pioff in
+      let page = B.load fb kept_slot 0 in
+      let off_slot = B.binop fb Ir.Add (Ir.Global g_offs) koff in
+      let off = B.load fb off_slot 0 in
+      let ptr = B.binop fb Ir.Add page off in
+      let a = B.load fb arr_slot_addr 0 in
+      let dst = B.binop fb Ir.Add a koff in
+      B.store fb dst 0 ptr);
+  let a_final = B.load fb arr_slot_addr 0 in
+  B.store fb (Ir.Global g_arrp) 0 a_final;
+  (* Phase 4: decoy BTDPs for the data section only. *)
+  List.iter
+    (fun (name, page_idx, off) ->
+      let page = B.load fb (Ir.Global g_kept) (8 * page_idx) in
+      let v = B.binop fb Ir.Add page (Ir.Const off) in
+      B.store fb (Ir.Global name) 0 v)
+    decoys;
+  (* Phase 5: arm the guard pages. *)
+  counted_loop fb ~bound:gp (fun g ->
+      let goff = B.binop fb Ir.Mul g (Ir.Const 8) in
+      let kept_slot = B.binop fb Ir.Add (Ir.Global g_kept) goff in
+      let page = B.load fb kept_slot 0 in
+      B.call_void fb (Ir.Builtin "mprotect_noread") [ page ]);
+  B.ret fb None;
+  { ctor = B.finish fb; globals; array_sym = g_arrp; cfg; seed }
+
+(* Deterministic per-function randomness, independent of query order. *)
+let hash_string s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff) s;
+  !h
+
+let indices t ~fname ~writes_frame =
+  if t.cfg.Dconfig.skip_frameless && not writes_frame then []
+  else begin
+    let rng = Rng.create (t.seed lxor (hash_string fname * 2654435761)) in
+    let count =
+      Rng.int_in_range rng ~lo:t.cfg.Dconfig.min_per_func ~hi:t.cfg.Dconfig.max_per_func
+    in
+    let count = min count t.cfg.Dconfig.array_size in
+    Rng.sample_without_replacement rng ~k:count
+      (Array.init t.cfg.Dconfig.array_size (fun i -> i))
+  end

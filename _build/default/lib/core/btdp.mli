@@ -1,0 +1,35 @@
+(** Booby-trapped data pointers (Sections 4.2 and 5.2).
+
+    Synthesizes the runtime constructor that, at program start:
+
+    + allocates [alloc_rounds] page-aligned page-sized heap chunks;
+    + frees all but a compile-time-chosen subset of [guard_pages];
+    + fills a heap-allocated pointer array with addresses at random in-page
+      offsets of the kept pages;
+    + stores only the array's address in the data section (the hardened
+      scheme of Figure 5), along with decoy BTDPs that never appear on the
+      stack;
+    + revokes read permission from the kept pages.
+
+    The constructor is ordinary IR: it is compiled, diversified and linked
+    like application code. Per-function instrumentation indices are served
+    by {!indices}. *)
+
+type t = {
+  ctor : Ir.func;
+  globals : Ir.global list;  (** added to the program (referenced by IR) *)
+  array_sym : string;  (** data slot holding the heap array pointer *)
+  cfg : Dconfig.btdp;
+  seed : int;
+}
+
+(** [build ~rng ~cfg ~seed] — synthesize the constructor and its data. *)
+val build : rng:R2c_util.Rng.t -> cfg:Dconfig.btdp -> seed:int -> t
+
+(** [ctor_name] — the constructor's function symbol. *)
+val ctor_name : string
+
+(** [indices t ~fname ~writes_frame] — BTDP array indices for one function
+    (deterministic in [seed] and [fname]); empty when the function makes no
+    stack writes and [skip_frameless] is on. *)
+val indices : t -> fname:string -> writes_frame:bool -> int list

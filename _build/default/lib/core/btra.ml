@@ -1,0 +1,141 @@
+module Rng = R2c_util.Rng
+module Opts = R2c_compiler.Opts
+
+type t = {
+  plans : (string * int, Opts.callsite_plan) Hashtbl.t;
+  post_offsets : (string, int) Hashtbl.t;
+  arrays : Ir.global list;
+}
+
+let ra_sym fname site = Printf.sprintf "__ra_%s_%d" fname site
+
+let array_sym fname site = Printf.sprintf "__r2c_cs_%s_%d" fname site
+
+(* The AVX array's layout, low to high, mirrors the stack image the batch
+   stores produce: [alignment-pad decoys][post][RA][pre] (Figure 4). *)
+let avx_array ~fname ~site ~pad_syms ~post_syms ~pre_syms =
+  let item (s, o) = Ir.Sym_addr_off (s, o) in
+  let items =
+    List.map item pad_syms @ List.map item post_syms
+    @ [ Ir.Sym_addr_off (ra_sym fname site, 0) ]
+    @ List.map item pre_syms
+  in
+  { Ir.gname = array_sym fname site; gsize = 8 * List.length items; ginit = items }
+
+let build ~rng ~cfg ~pool (p : Ir.program) =
+  let plans = Hashtbl.create 256 in
+  let post_offsets = Hashtbl.create 64 in
+  let arrays = ref [] in
+  (* Callee side first: every compiled function picks its post offset once
+     (property B depends on this being static). *)
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace post_offsets f.name
+        (Rng.int_in_range rng ~lo:1 ~hi:cfg.Dconfig.max_post))
+    p.funcs;
+  let plan_site fname site (callee : Ir.callee) =
+    let protect =
+      match callee with
+      | Ir.Direct _ | Ir.Indirect _ -> true
+      | Ir.Builtin _ -> cfg.Dconfig.to_builtins
+    in
+    if protect then begin
+      let post_count =
+        match callee with
+        | Ir.Direct callee_name -> Hashtbl.find post_offsets callee_name
+        | Ir.Indirect _ | Ir.Builtin _ ->
+            (* No compile-time synchronisation is possible: pure decoys
+               (Section 5.1). *)
+            Rng.int_in_range rng ~lo:1 ~hi:cfg.Dconfig.max_post
+      in
+      let pre_count =
+        let n = max 0 (cfg.Dconfig.total - post_count) in
+        (* Keep the stack 16-byte aligned: even pre count (Section 5.1). *)
+        if n land 1 = 1 then n + 1 else n
+      in
+      (* One atomic draw per call site keeps the whole set distinct —
+         mimicry property A spans pre, post and padding together. *)
+      let pad_count =
+        let chunk =
+          match cfg.Dconfig.setup with
+          | Dconfig.Push | Dconfig.Naive -> 1
+          | Dconfig.Sse -> 2
+          | Dconfig.Avx -> 4
+          | Dconfig.Avx512 -> 8
+        in
+        let w = pre_count + 1 + post_count in
+        (chunk - (w mod chunk)) mod chunk
+      in
+      let drawn = Boobytrap.pick rng pool ~n:(pre_count + post_count + pad_count) in
+      let rec split n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: rest ->
+            let a, b = split (n - 1) rest in
+            (x :: a, b)
+      in
+      let pre_syms, rest = split pre_count drawn in
+      let post_syms, pad_syms = split post_count rest in
+      let vector_setup kind =
+        arrays := avx_array ~fname ~site ~pad_syms ~post_syms ~pre_syms :: !arrays;
+        (kind, Some (array_sym fname site), pad_count)
+      in
+      let setup, array_global, avx_pad =
+        match cfg.Dconfig.setup with
+        | Dconfig.Push | Dconfig.Naive -> (Opts.Push_setup, None, 0)
+        | Dconfig.Sse -> vector_setup Opts.Sse_setup
+        | Dconfig.Avx -> vector_setup Opts.Avx_setup
+        | Dconfig.Avx512 -> vector_setup Opts.Avx512_setup
+      in
+      let setup =
+        match cfg.Dconfig.setup with Dconfig.Naive -> Opts.Push_naive | _ -> setup
+      in
+      let dummy_sym =
+        match cfg.Dconfig.setup with
+        | Dconfig.Naive -> Some (List.hd (Boobytrap.pick rng pool ~n:1))
+        | Dconfig.Push | Dconfig.Sse | Dconfig.Avx | Dconfig.Avx512 -> None
+      in
+      (* Section 7.3: remember one random pre-BTRA to re-verify after the
+         call returns. The stored index is the stack-slot offset from rsp
+         at return time: the push sequence lays pre_syms highest-first,
+         the vector batch lowest-first. *)
+      let check_sym =
+        if cfg.Dconfig.check_after_return && pre_count > 0 then begin
+          let k = Rng.int rng pre_count in
+          let slot =
+            match cfg.Dconfig.setup with
+            | Dconfig.Push | Dconfig.Naive -> pre_count - 1 - k
+            | Dconfig.Sse | Dconfig.Avx | Dconfig.Avx512 -> k
+          in
+          Some (slot, List.nth pre_syms k)
+        end
+        else None
+      in
+      Hashtbl.replace plans (fname, site)
+        { Opts.pre_syms; post_syms; setup; array_global; avx_pad; dummy_sym; check_sym }
+    end
+  in
+  (* Walk call sites in emission order: blocks in order, instructions in
+     order. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      let site = ref 0 in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun instr ->
+              match instr with
+              | Ir.Call (_, callee, _) ->
+                  plan_site f.name !site callee;
+                  incr site
+              | Ir.Mov _ | Ir.Binop _ | Ir.Cmp _ | Ir.Load _ | Ir.Load8 _
+              | Ir.Store _ | Ir.Store8 _ | Ir.Slot_addr _ -> ())
+            b.body)
+        f.blocks)
+    p.funcs;
+  { plans; post_offsets; arrays = List.rev !arrays }
+
+let plan t ~fname ~site = Hashtbl.find_opt t.plans (fname, site)
+
+let post_offset t ~fname =
+  match Hashtbl.find_opt t.post_offsets fname with Some n -> n | None -> 0

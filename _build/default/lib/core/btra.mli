@@ -1,0 +1,33 @@
+(** Booby-trapped return address planning (Sections 4.1 and 5.1).
+
+    Walks every call site of the program (in the same order the emitter
+    enumerates them) and produces:
+
+    - a per-function post-offset (the callee-chosen number of BTRAs after
+      the return address, Figure 3 step 4);
+    - a per-call-site plan: pre/post BTRA target sets drawn from the
+      booby-trap pool with reuse avoidance, the setup flavour, and — for
+      the AVX2 setup — the call-site-specific address array of Figure 4
+      synthesized as a data global.
+
+    Mimicry properties of Section 4.1 hold by construction: each target is
+    used at most once within a site (property A), plans are fixed per site
+    (property B), and sets are drawn independently per site with usage
+    balancing (property C). *)
+
+type t = {
+  plans : (string * int, R2c_compiler.Opts.callsite_plan) Hashtbl.t;
+      (** keyed by (function, site index) *)
+  post_offsets : (string, int) Hashtbl.t;
+  arrays : Ir.global list;  (** AVX call-site arrays, for [extra_globals] *)
+}
+
+(** [build ~rng ~cfg ~pool program] — plan every call site of [program]. *)
+val build :
+  rng:R2c_util.Rng.t -> cfg:Dconfig.btra -> pool:Boobytrap.pool -> Ir.program -> t
+
+(** [plan t ~fname ~site] — lookup for {!R2c_compiler.Opts.t.callsite_btra}. *)
+val plan : t -> fname:string -> site:int -> R2c_compiler.Opts.callsite_plan option
+
+(** [post_offset t ~fname] — 0 when the function is unknown. *)
+val post_offset : t -> fname:string -> int

@@ -1,0 +1,168 @@
+module Rng = R2c_util.Rng
+module Opts = R2c_compiler.Opts
+module Insn = R2c_machine.Insn
+module Addr = R2c_machine.Addr
+
+let src = Logs.Src.create "r2c.pipeline" ~doc:"R2C instrumentation pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let hash_string s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff) s;
+  !h
+
+(* Order-independent per-function (or per-site) generators: callbacks may be
+   invoked in any order by the emitter, so each derives its stream from the
+   master seed and its own identity. *)
+let fn_rng seed tag fname =
+  Rng.create (seed lxor (hash_string (tag ^ "/" ^ fname) * 0x9e3779b1))
+
+let site_rng seed tag fname site =
+  Rng.create (seed lxor (hash_string (Printf.sprintf "%s/%s/%d" tag fname site) * 0x85ebca6b))
+
+let instrument ?(extra_raw = []) ~seed (cfg : Dconfig.t) (p : Ir.program) =
+  let master = Rng.create seed in
+  let rng_bt = Rng.split master in
+  let rng_btra = Rng.split master in
+  let rng_btdp = Rng.split master in
+  let rng_layout = Rng.split master in
+  let rng_aslr = Rng.split master in
+  (* BTDP: extend the program with the constructor and its data. *)
+  let btdp =
+    match cfg.btdp with
+    | Some bcfg -> Some (Btdp.build ~rng:rng_btdp ~cfg:bcfg ~seed)
+    | None -> None
+  in
+  let p =
+    match btdp with
+    | Some b ->
+        { p with Ir.funcs = p.funcs @ [ b.Btdp.ctor ]; globals = p.globals @ b.Btdp.globals }
+    | None -> p
+  in
+  (* Booby-trap functions and BTRA plans. *)
+  let needs_pool = cfg.btra <> None in
+  let bt_funcs, pool =
+    if needs_pool || cfg.booby_trap_funcs > 0 then begin
+      let count = max cfg.booby_trap_funcs (if needs_pool then 16 else 0) in
+      let funcs, targets = Boobytrap.generate rng_bt ~count in
+      (funcs, Some (Boobytrap.pool_of_targets targets))
+    end
+    else ([], None)
+  in
+  let btra =
+    match (cfg.btra, pool) with
+    | Some bcfg, Some pool -> Some (Btra.build ~rng:rng_btra ~cfg:bcfg ~pool p)
+    | Some _, None -> assert false
+    | None, _ -> None
+  in
+  let oia = cfg.oia || cfg.btra <> None in
+  Log.debug (fun m ->
+      m "instrumenting %d functions (%s), seed %d: %d booby traps, %d BTRA plans"
+        (List.length p.Ir.funcs) (Dconfig.describe cfg) seed (List.length bt_funcs)
+        (match btra with Some b -> Hashtbl.length b.Btra.plans | None -> 0));
+  (* Layout randomizations. *)
+  let func_order names =
+    if cfg.shuffle_functions then Rng.shuffle_list (Rng.copy rng_layout) names else names
+  in
+  let global_order globals =
+    let globals =
+      if cfg.shuffle_globals then Rng.shuffle_list (Rng.copy rng_layout) globals
+      else globals
+    in
+    let r = Rng.create (seed lxor 0x5bd1e995) in
+    List.map
+      (fun g ->
+        let pad =
+          if cfg.global_padding_max > 0 then
+            Rng.int r (cfg.global_padding_max + 1) land lnot 7
+          else 0
+        in
+        (g, pad))
+      globals
+  in
+  let default_pool = Insn.[ RBX; R12; R13; R14; R15 ] in
+  let reg_pool ~fname =
+    if cfg.randomize_regalloc then
+      Rng.shuffle_list (fn_rng seed "regs" fname) default_pool
+    else default_pool
+  in
+  let slot_perm ~fname ~n =
+    if cfg.shuffle_stack_slots then begin
+      let a = Array.init n (fun i -> i) in
+      Rng.shuffle (fn_rng seed "slots" fname) a;
+      a
+    end
+    else Opts.identity_perm n
+  in
+  let slot_pad_bytes ~fname =
+    if cfg.slot_padding_max > 0 then
+      Rng.int (fn_rng seed "slotpad" fname) (cfg.slot_padding_max + 1) land lnot 7
+    else 0
+  in
+  let prolog_traps ~fname =
+    match cfg.prolog_traps with
+    | Some (lo, hi) -> Rng.int_in_range (fn_rng seed "prolog" fname) ~lo ~hi
+    | None -> 0
+  in
+  let nops_before_call ~fname ~site =
+    match cfg.nops with
+    | Some (lo, hi) ->
+        let r = site_rng seed "nops" fname site in
+        List.init (Rng.int_in_range r ~lo ~hi) (fun _ -> 1)
+    | None -> []
+  in
+  let post_offset_words ~fname =
+    match btra with Some b -> Btra.post_offset b ~fname | None -> 0
+  in
+  let callsite_btra ~fname ~site ~callee:_ =
+    match btra with Some b -> Btra.plan b ~fname ~site | None -> None
+  in
+  let btdp_indices ~fname ~writes_frame =
+    match btdp with
+    (* The constructor itself runs before the pointer array exists. *)
+    | Some _ when fname = Btdp.ctor_name -> []
+    | Some b -> Btdp.indices b ~fname ~writes_frame
+    | None -> []
+  in
+  let func_pad ~fname:_ =
+    if cfg.shuffle_functions then Rng.int (Rng.copy rng_layout) 17 land lnot 0 else 0
+  in
+  let page = Addr.page_size in
+  let text_slide, data_slide, heap_slide =
+    if cfg.aslr then
+      ( Rng.int rng_aslr 4096 * page,
+        Rng.int rng_aslr 256 * page,
+        Rng.int rng_aslr 4096 * page )
+    else (0, 0, 0)
+  in
+  let opts =
+    {
+      Opts.default with
+      reg_pool;
+      slot_perm;
+      slot_pad_bytes;
+      prolog_traps;
+      post_offset_words;
+      nops_before_call;
+      callsite_btra;
+      btdp_indices;
+      btdp_array_sym = (match btdp with Some b -> Some b.Btdp.array_sym | None -> None);
+      oia;
+      func_order;
+      global_order;
+      func_pad;
+      raw_funcs = extra_raw @ bt_funcs;
+      text_perm = (if cfg.xom then R2c_machine.Perm.xo else R2c_machine.Perm.rx);
+      constructors = (match btdp with Some _ -> [ Btdp.ctor_name ] | None -> []);
+      extra_globals = (match btra with Some b -> b.Btra.arrays | None -> []);
+      text_slide;
+      data_slide;
+      heap_slide;
+    }
+  in
+  (p, opts)
+
+let compile ?(extra_raw = []) ?(seed = 1) cfg p =
+  let p, opts = instrument ~extra_raw ~seed cfg p in
+  R2c_compiler.Driver.compile ~opts p

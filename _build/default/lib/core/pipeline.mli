@@ -1,0 +1,28 @@
+(** The R2C compiler: IR program + diversity configuration + seed -> image.
+
+    [instrument] performs the program-level work (booby-trap functions,
+    BTDP constructor and data, call-site BTRA planning) and packages every
+    per-function / per-call-site randomized decision into compiler options;
+    [compile] runs the full pipeline. Equal seeds give identical binaries;
+    different seeds give diversified variants (the paper's per-execution
+    recompilation methodology, Section 6.2). *)
+
+(** [instrument ?extra_raw ~seed cfg p] — the (possibly extended) program
+    and the codegen options to compile it with. [extra_raw] appends raw
+    machine-code functions (e.g. the libc-like runtime stubs that give
+    evaluation targets a realistic gadget population); they are shuffled
+    with everything else. *)
+val instrument :
+  ?extra_raw:R2c_compiler.Opts.raw_func list ->
+  seed:int ->
+  Dconfig.t ->
+  Ir.program ->
+  Ir.program * R2c_compiler.Opts.t
+
+(** [compile ?extra_raw ?seed cfg p] — full pipeline. Default seed 1. *)
+val compile :
+  ?extra_raw:R2c_compiler.Opts.raw_func list ->
+  ?seed:int ->
+  Dconfig.t ->
+  Ir.program ->
+  R2c_machine.Image.t

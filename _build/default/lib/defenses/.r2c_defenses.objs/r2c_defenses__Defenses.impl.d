@@ -1,0 +1,1 @@
+lib/defenses/defenses.ml: Ir List R2c_compiler R2c_core R2c_machine R2c_workloads

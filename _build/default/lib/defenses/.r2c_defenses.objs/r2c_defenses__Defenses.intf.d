@@ -1,0 +1,1 @@
+lib/defenses/defenses.mli: Ir R2c_compiler R2c_core R2c_machine

@@ -1,0 +1,1 @@
+lib/defenses/mvee.ml: Cpu Fault List Printf Process R2c_machine

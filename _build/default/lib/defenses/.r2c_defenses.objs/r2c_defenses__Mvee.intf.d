@@ -1,0 +1,1 @@
+lib/defenses/mvee.mli: R2c_machine

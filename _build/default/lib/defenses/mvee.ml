@@ -1,0 +1,62 @@
+open R2c_machine
+
+type verdict =
+  | Consistent of Process.outcome
+  | Divergence of { variant : int; detail : string }
+
+type observation = {
+  outcome : Process.outcome;
+  output : string;
+  sensitive : (int * int) list;
+}
+
+let observe img inputs =
+  let p = Process.start img in
+  List.iter (Cpu.push_input p.Process.cpu) inputs;
+  let outcome = Process.run p in
+  { outcome; output = Process.output p; sensitive = Process.sensitive_log p }
+
+(* Outcomes compare structurally except crash *addresses*, which differ
+   across variants by construction: only the fault kind is monitored. *)
+let outcome_kind = function
+  | Process.Exited n -> Printf.sprintf "exit(%d)" n
+  | Process.Crashed f -> (
+      match f with
+      | Fault.Segv _ -> "segv"
+      | Fault.Guard_page _ -> "guard-page"
+      | Fault.Booby_trap _ -> "booby-trap"
+      | Fault.Misaligned_stack _ -> "misaligned"
+      | Fault.Invalid_opcode _ -> "sigill"
+      | Fault.Division_by_zero _ -> "sigfpe"
+      | Fault.Cfi_violation _ -> "cfi")
+  | Process.Timeout -> "timeout"
+
+let run ~build ~seeds ~inputs =
+  match seeds with
+  | [] -> invalid_arg "Mvee.run: no variants"
+  | first :: rest ->
+      let reference = observe (build ~seed:first) inputs in
+      let rec check i = function
+        | [] -> Consistent reference.outcome
+        | seed :: tl ->
+            let v = observe (build ~seed) inputs in
+            if outcome_kind v.outcome <> outcome_kind reference.outcome then
+              Divergence
+                {
+                  variant = i;
+                  detail =
+                    Printf.sprintf "outcome %s vs %s" (outcome_kind v.outcome)
+                      (outcome_kind reference.outcome);
+                }
+            else if v.output <> reference.output then
+              Divergence { variant = i; detail = "output differs" }
+            else if v.sensitive <> reference.sensitive then
+              Divergence { variant = i; detail = "privileged-call log differs" }
+            else check (i + 1) tl
+      in
+      check 1 rest
+
+let verdict_to_string = function
+  | Consistent o -> "consistent (" ^ Process.outcome_to_string o ^ ")"
+  | Divergence { variant; detail } ->
+      Printf.sprintf "DIVERGENCE at variant %d: %s" variant detail

@@ -1,0 +1,25 @@
+(** Multi-Variant Execution (Section 7.3).
+
+    "MVEEs and diversification defenses like R2C naturally complement each
+    other. Considering that R2C diversifies along multiple dimensions, an
+    MVEE would detect data corruption or leakage in one of the variants
+    with high probability."
+
+    [run] feeds the same input stream to N differently-seeded variants of
+    a program and runs them in lockstep to completion, comparing the
+    observable behaviour (outcome, printed output, privileged-call log).
+    Any divergence is the detection signal: an exploit tailored to one
+    variant's layout behaves differently on its siblings. *)
+
+type verdict =
+  | Consistent of R2c_machine.Process.outcome
+      (** every variant behaved identically *)
+  | Divergence of { variant : int; detail : string }
+      (** variant [variant] (0-based) differs from variant 0 *)
+
+(** [run ~build ~seeds ~inputs] — [build seed] produces one variant's
+    image. *)
+val run :
+  build:(seed:int -> R2c_machine.Image.t) -> seeds:int list -> inputs:string list -> verdict
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,1 @@
+lib/harness/figure6.ml: Float List Measure Paper Printf R2c_core R2c_machine R2c_util String

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Cost Image List Process R2c_compiler R2c_core R2c_machine R2c_util R2c_workloads

@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Ir R2c_core R2c_machine

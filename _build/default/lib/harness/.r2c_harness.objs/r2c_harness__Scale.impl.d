@@ -1,0 +1,1 @@
+lib/harness/scale.ml: Image Interp Ir List Printf Process R2c_core R2c_machine R2c_util R2c_workloads Sys

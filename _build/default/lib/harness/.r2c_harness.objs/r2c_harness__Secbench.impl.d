@@ -1,0 +1,1 @@
+lib/harness/secbench.ml: Addr Array Cpu Float List Mem Paper Printf Process R2c_attacks R2c_core R2c_defenses R2c_machine R2c_util R2c_workloads

@@ -1,0 +1,1 @@
+lib/harness/table1.ml: List Measure Paper R2c_core R2c_util

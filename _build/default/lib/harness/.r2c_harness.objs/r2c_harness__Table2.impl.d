@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Float List Measure Printf R2c_compiler R2c_util R2c_workloads

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: List Measure R2c_attacks R2c_compiler R2c_defenses R2c_util R2c_workloads String

@@ -1,0 +1,1 @@
+lib/harness/webbench.ml: List Measure Paper Printf R2c_compiler R2c_core R2c_machine R2c_util R2c_workloads

@@ -1,0 +1,54 @@
+module Table = R2c_util.Table
+module Stats = R2c_util.Stats
+
+type machine_result = {
+  machine : string;
+  per_benchmark : (string * float) list;
+  geomean : float;
+}
+
+let run ?(seeds = [ 5; 13; 29 ]) () =
+  let cfg = R2c_core.Dconfig.full () in
+  List.map
+    (fun profile ->
+      let per_benchmark = Measure.suite_overheads ~profile ~seeds cfg in
+      {
+        machine = profile.R2c_machine.Cost.name;
+        per_benchmark;
+        geomean = Stats.geomean (List.map snd per_benchmark);
+      })
+    R2c_machine.Cost.all_machines
+
+let bar width ratio =
+  (* Scale: 25% overhead = full width. *)
+  let n = int_of_float (Float.min 1.0 ((ratio -. 1.0) /. 0.25) *. float_of_int width) in
+  String.make (max 0 n) '#'
+
+let print results =
+  let benchmarks = List.map fst (List.hd results).per_benchmark in
+  let headers = "benchmark" :: List.map (fun r -> r.machine) results @ [ "bars (i9)" ] in
+  let rows =
+    List.map
+      (fun b ->
+        let cells =
+          List.map
+            (fun r -> Table.pct (List.assoc b r.per_benchmark -. 1.0))
+            results
+        in
+        let first = List.assoc b (List.hd results).per_benchmark in
+        (b :: cells) @ [ bar 24 first ])
+      benchmarks
+  in
+  let geo_row =
+    ("geomean" :: List.map (fun r -> Table.pct (r.geomean -. 1.0)) results) @ [ "" ]
+  in
+  Table.print ~title:"Figure 6: full R2C overhead per machine"
+    ~headers
+    ~aligns:[ Table.Left; Right; Right; Right; Right; Left ]
+    (rows @ [ geo_row ]);
+  let lo, hi = Paper.figure6_geomean_range in
+  Printf.printf "paper: geomean %.1f%% - %.1f%% across machines; worst case %s at %.0f%%\n"
+    ((lo -. 1.0) *. 100.0)
+    ((hi -. 1.0) *. 100.0)
+    (fst Paper.figure6_worst)
+    ((snd Paper.figure6_worst -. 1.0) *. 100.0)

@@ -1,0 +1,16 @@
+(** Figure 6: per-benchmark overhead of full R2C protection on the four
+    machine profiles (Section 6.2.4). Worst-case configuration: BTRAs also
+    on call sites into unprotected library code, AVX2 setup, 0-5 BTDPs,
+    1-9 NOPs, 1-5 prolog traps, all layout randomizations, XOM, ASLR. *)
+
+type machine_result = {
+  machine : string;
+  per_benchmark : (string * float) list;
+  geomean : float;
+}
+
+val run : ?seeds:int list -> unit -> machine_result list
+
+(** [print results] — one column per machine plus an ASCII rendering of the
+    figure's bars. *)
+val print : machine_result list -> unit

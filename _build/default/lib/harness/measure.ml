@@ -1,0 +1,49 @@
+open R2c_machine
+module Stats = R2c_util.Stats
+
+type stats = {
+  total_cycles : float;
+  steady_cycles : float;
+  calls : int;
+  insns : int;
+  maxrss_bytes : int;
+}
+
+let run ?(profile = Cost.epyc_rome) img =
+  let p = Process.start ~profile img in
+  let main_addr = Image.symbol img "main" in
+  (match Process.run_until p ~break:[ main_addr ] with
+  | `Hit -> ()
+  | `Done o -> failwith ("Measure.run: never reached main: " ^ Process.outcome_to_string o));
+  let at_main = Process.cycles p in
+  match Process.run p with
+  | Process.Exited 0 ->
+      {
+        total_cycles = Process.cycles p;
+        steady_cycles = Process.cycles p -. at_main;
+        calls = Process.calls p;
+        insns = Process.insns p;
+        maxrss_bytes = Process.maxrss_bytes p;
+      }
+  | o -> failwith ("Measure.run: " ^ Process.outcome_to_string o)
+
+let overhead ?profile ~seeds cfg program =
+  let base = (run ?profile (R2c_compiler.Driver.compile program)).steady_cycles in
+  let ratios =
+    List.map
+      (fun seed ->
+        let img = R2c_core.Pipeline.compile ~seed cfg program in
+        (run ?profile img).steady_cycles /. base)
+      seeds
+  in
+  Stats.median ratios
+
+let suite_overheads ?profile ~seeds cfg =
+  List.map
+    (fun (b : R2c_workloads.Spec.benchmark) ->
+      (b.name, overhead ?profile ~seeds cfg b.program))
+    (R2c_workloads.Spec.all ())
+
+let geomean_max rows =
+  let values = List.map snd rows in
+  (Stats.maximum values, Stats.geomean values)

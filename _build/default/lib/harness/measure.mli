@@ -1,0 +1,34 @@
+(** Measurement helpers shared by the experiment harnesses. *)
+
+type stats = {
+  total_cycles : float;
+  steady_cycles : float;  (** from [main] entry to exit — startup excluded,
+                              matching SPEC's amortization of one-time costs *)
+  calls : int;
+  insns : int;
+  maxrss_bytes : int;
+}
+
+(** [run ?profile img] — execute to completion; fails on crash or non-zero
+    exit. *)
+val run : ?profile:R2c_machine.Cost.profile -> R2c_machine.Image.t -> stats
+
+(** [overhead ?profile ~seeds cfg program] — median over [seeds] of the
+    steady-cycle ratio R2C(cfg)/baseline. *)
+val overhead :
+  ?profile:R2c_machine.Cost.profile ->
+  seeds:int list ->
+  R2c_core.Dconfig.t ->
+  Ir.program ->
+  float
+
+(** [suite_overheads ?profile ~seeds cfg] — (benchmark, overhead) for the
+    whole SPEC-shaped suite. *)
+val suite_overheads :
+  ?profile:R2c_machine.Cost.profile ->
+  seeds:int list ->
+  R2c_core.Dconfig.t ->
+  (string * float) list
+
+(** [geomean_max rows] — (max, geomean) of the overhead column. *)
+val geomean_max : (string * float) list -> float * float

@@ -1,0 +1,67 @@
+module Table = R2c_util.Table
+module Stats = R2c_util.Stats
+module Dconfig = R2c_core.Dconfig
+
+type row = {
+  name : string;
+  base_kb : int;
+  r2c_kb : int;
+  overhead : float;
+  btdp_share : float;
+}
+
+let measure_one ~seed name program =
+  let full = Dconfig.full () in
+  let no_btdp = { full with Dconfig.btdp = None } in
+  let rss img = (Measure.run img).Measure.maxrss_bytes in
+  let base = rss (R2c_compiler.Driver.compile program) in
+  let r2c = rss (R2c_core.Pipeline.compile ~seed full program) in
+  let without_btdp = rss (R2c_core.Pipeline.compile ~seed no_btdp program) in
+  let overhead_bytes = max 1 (r2c - base) in
+  {
+    name;
+    base_kb = base / 1024;
+    r2c_kb = r2c / 1024;
+    overhead = float_of_int (r2c - base) /. float_of_int base;
+    btdp_share = float_of_int (r2c - without_btdp) /. float_of_int overhead_bytes;
+  }
+
+let run ?(seed = 17) () =
+  let spec =
+    List.map
+      (fun (b : R2c_workloads.Spec.benchmark) -> measure_one ~seed b.name b.program)
+      (R2c_workloads.Spec.all ())
+  in
+  let web =
+    List.map
+      (fun (fl, name) ->
+        measure_one ~seed name (R2c_workloads.Webserver.server fl ~requests:200))
+      [ (`Nginx, "nginx"); (`Apache, "apache") ]
+  in
+  (spec, web)
+
+let print (spec, web) =
+  let render rows =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          string_of_int r.base_kb;
+          string_of_int r.r2c_kb;
+          Table.pct r.overhead;
+          Table.pct r.btdp_share;
+        ])
+      rows
+  in
+  Table.print ~title:"Memory overhead (maxrss)"
+    ~headers:[ "workload"; "base KB"; "R2C KB"; "overhead"; "BTDP share" ]
+    ~aligns:[ Table.Left; Right; Right; Right; Right ]
+    (render spec @ render web);
+  let lo, hi = Paper.spec_memory_overhead in
+  Printf.printf
+    "paper: SPEC %.0f-%.0f%%; webserver ~%.0f%% of which ~%.0f%% from BTDP pages\n"
+    (lo *. 100.0) (hi *. 100.0)
+    (Paper.webserver_memory_overhead *. 100.0)
+    (Paper.webserver_memory_btdp_share *. 100.0);
+  Printf.printf "measured SPEC median: %s\n"
+    (Table.pct (Stats.median (List.map (fun r -> r.overhead) spec)))

@@ -1,0 +1,15 @@
+(** Section 6.2.5's memory overhead: maxrss of the SPEC-shaped suite and
+    the webserver workers under full R2C, with the BTDP guard-page share
+    isolated by differencing against a full-minus-BTDP build. *)
+
+type row = {
+  name : string;
+  base_kb : int;
+  r2c_kb : int;
+  overhead : float;  (** fraction *)
+  btdp_share : float;  (** of the overhead attributable to BTDP pages *)
+}
+
+val run : ?seed:int -> unit -> row list * row list  (** (spec, webserver) *)
+
+val print : row list * row list -> unit

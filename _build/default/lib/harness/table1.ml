@@ -1,0 +1,44 @@
+module Dconfig = R2c_core.Dconfig
+module Table = R2c_util.Table
+
+type row = {
+  label : string;
+  max : float;
+  geomean : float;
+  per_benchmark : (string * float) list;
+}
+
+let components =
+  [
+    ("Push", Dconfig.btra_push_only);
+    ("AVX", Dconfig.btra_avx_only);
+    ("BTDP", Dconfig.btdp_only);
+    ("Prolog", Dconfig.prolog_only);
+    ("Layout", Dconfig.layout_only);
+    ("OIA", Dconfig.oia_only);
+  ]
+
+let run ?(seeds = [ 3; 11; 27 ]) () =
+  List.map
+    (fun (label, cfg) ->
+      let per_benchmark = Measure.suite_overheads ~seeds cfg in
+      let max, geomean = Measure.geomean_max per_benchmark in
+      { label; max; geomean; per_benchmark })
+    components
+
+let print rows =
+  let paper label =
+    match List.assoc_opt label (List.map (fun (l, m, g) -> (l, (m, g))) Paper.table1) with
+    | Some (m, g) -> (Table.ratio m, Table.ratio g)
+    | None ->
+        if label = "OIA" then (Table.ratio Paper.oia_max, Table.ratio Paper.oia_geomean)
+        else ("-", "-")
+  in
+  Table.print ~title:"Table 1: component overheads (ratio to baseline)"
+    ~headers:[ "component"; "max"; "geomean"; "paper max"; "paper geomean" ]
+    ~aligns:[ Table.Left; Right; Right; Right; Right ]
+    (List.map
+       (fun r ->
+         let pm, pg = paper r.label in
+         [ r.label; Table.ratio r.max; Table.ratio r.geomean; pm; pg ])
+       rows)

@@ -1,0 +1,54 @@
+module Table = R2c_util.Table
+
+type row = {
+  name : string;
+  measured_calls : int;
+  paper_calls : float;
+  measured_rel : float;
+  paper_rel : float;
+}
+
+let run () =
+  let raw =
+    List.map
+      (fun (b : R2c_workloads.Spec.benchmark) ->
+        (* Median executed calls across the benchmark's inputs, as the
+           paper's Table 2 does. *)
+        let calls =
+          R2c_util.Stats.median_int
+            (List.map
+               (fun p -> (Measure.run (R2c_compiler.Driver.compile p)).Measure.calls)
+               b.inputs)
+        in
+        (b.name, calls, b.paper_calls))
+      (R2c_workloads.Spec.all ())
+  in
+  let base_measured =
+    List.fold_left (fun acc (_, c, _) -> min acc c) max_int raw |> float_of_int
+  in
+  let base_paper = List.fold_left (fun acc (_, _, p) -> Float.min acc p) infinity raw in
+  List.map
+    (fun (name, measured_calls, paper_calls) ->
+      {
+        name;
+        measured_calls;
+        paper_calls;
+        measured_rel = float_of_int measured_calls /. base_measured;
+        paper_rel = paper_calls /. base_paper;
+      })
+    raw
+
+let print rows =
+  Table.print ~title:"Table 2: median call frequencies (measured at ~2.5e-7 scale)"
+    ~headers:[ "benchmark"; "calls"; "paper calls"; "rel (lbm=1)"; "paper rel" ]
+    ~aligns:[ Table.Left; Right; Right; Right; Right ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.measured_calls;
+           Printf.sprintf "%.0f" r.paper_calls;
+           Printf.sprintf "%.0f" r.measured_rel;
+           Printf.sprintf "%.0f" r.paper_rel;
+         ])
+       rows)

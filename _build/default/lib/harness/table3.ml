@@ -1,0 +1,133 @@
+module Defenses = R2c_defenses.Defenses
+module Oracle = R2c_attacks.Oracle
+module Reference = R2c_attacks.Reference
+module Report = R2c_attacks.Report
+module Vulnapp = R2c_workloads.Vulnapp
+module Rng = R2c_util.Rng
+module Stats = R2c_util.Stats
+module Table = R2c_util.Table
+
+type cell = {
+  attack : string;
+  trials : int;
+  successes : int;
+  detections : int;
+}
+
+type row = {
+  defense : string;
+  measured_overhead : float option;
+  paper_overhead : string;
+  cpp : bool;
+  cells : cell list;
+}
+
+let scenario (d : Defenses.t) ~seed =
+  let target_img = Defenses.build_vulnapp d ~seed in
+  let reference = Reference.measure (Defenses.build_vulnapp d ~seed:(seed + 1000)) in
+  let relink =
+    if d.Defenses.rerandomize then begin
+      let counter = ref 0 in
+      Some
+        (fun () ->
+          incr counter;
+          Defenses.build_vulnapp d ~seed:(seed + (7777 * !counter)))
+    end
+    else None
+  in
+  (reference, Oracle.attach ?relink ~break_sym:Vulnapp.break_symbol target_img)
+
+let attacks : (string * (Defenses.t -> seed:int -> Report.t)) list =
+  [
+    ( "ROP",
+      fun d ~seed ->
+        let reference, target = scenario d ~seed in
+        R2c_attacks.Rop.run ~reference ~target );
+    ( "JIT-ROP",
+      fun d ~seed ->
+        let reference, target = scenario d ~seed in
+        R2c_attacks.Jitrop.run ~reference ~target );
+    ( "PIROP",
+      fun d ~seed ->
+        let reference, target = scenario d ~seed in
+        R2c_attacks.Pirop.run ~reference ~target () );
+    ( "AOCR",
+      fun d ~seed ->
+        let reference, target = scenario d ~seed in
+        R2c_attacks.Aocr.run ~rng:(Rng.create (seed * 977)) ~reference ~target () );
+  ]
+
+(* A small SPEC subset keeps the overhead column affordable. *)
+let overhead_subset = [ "perlbench"; "mcf"; "omnetpp"; "x264" ]
+
+let measure_overhead (d : Defenses.t) =
+  let ratios =
+    List.map
+      (fun name ->
+        let b = R2c_workloads.Spec.find name in
+        let base =
+          (Measure.run (R2c_compiler.Driver.compile b.program)).Measure.steady_cycles
+        in
+        let img = Defenses.build d ~seed:9 ~extra_raw:[] b.program in
+        (Measure.run img).Measure.steady_cycles /. base)
+      overhead_subset
+  in
+  Stats.geomean ratios
+
+let run ?(trials = 3) ?(with_overhead = true) () =
+  List.map
+    (fun (d : Defenses.t) ->
+      let cells =
+        List.map
+          (fun (attack, f) ->
+            let reports = List.init trials (fun i -> f d ~seed:((i * 13) + 2)) in
+            {
+              attack;
+              trials;
+              successes =
+                List.length (List.filter (fun r -> r.Report.success) reports);
+              detections =
+                List.length (List.filter (fun r -> r.Report.detected) reports);
+            })
+          attacks
+      in
+      {
+        defense = d.Defenses.name;
+        measured_overhead = (if with_overhead then Some (measure_overhead d) else None);
+        paper_overhead = d.Defenses.paper_overhead;
+        cpp = d.Defenses.cpp_support;
+        cells;
+      })
+    Defenses.all
+
+let glyph c =
+  if c.successes = 0 then "#"  (* protected *)
+  else if c.successes >= (c.trials + 1) / 2 then "o"  (* broken *)
+  else "+" (* partial *)
+
+let print rows =
+  let headers =
+    [ "defense"; "overhead"; "paper"; "C++" ]
+    @ List.map (fun (a, _) -> a) attacks
+    @ [ "detections" ]
+  in
+  Table.print
+    ~title:
+      "Table 3: defense comparison (# = stopped every trial, o = broken, + = partial)"
+    ~headers
+    (List.map
+       (fun r ->
+         [
+           r.defense;
+           (match r.measured_overhead with
+           | Some o -> Table.pct (o -. 1.0)
+           | None -> "-");
+           r.paper_overhead;
+           (if r.cpp then "yes" else "no");
+         ]
+         @ List.map glyph r.cells
+         @ [
+             String.concat "/"
+               (List.map (fun c -> string_of_int c.detections) r.cells);
+           ])
+       rows)

@@ -1,0 +1,80 @@
+module Webserver = R2c_workloads.Webserver
+module Table = R2c_util.Table
+module Stats = R2c_util.Stats
+
+type result = {
+  flavour : string;
+  machine : string;
+  base_throughput : float;
+  r2c_throughput : float;
+  drop : float;
+}
+
+let run ?(seeds = [ 7; 19; 41; 67; 83 ]) ?(requests = 400) () =
+  let cfg = R2c_core.Dconfig.full () in
+  let machines = R2c_machine.Cost.[ i9_9900k; epyc_rome ] in
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun (fl, name) ->
+          let program = Webserver.server fl ~requests in
+          let base =
+            (Measure.run ~profile (R2c_compiler.Driver.compile program)).steady_cycles
+          in
+          (* Median of five runs at saturation, per the paper. *)
+          let cycles =
+            Stats.median
+              (List.map
+                 (fun seed ->
+                   (Measure.run ~profile (R2c_core.Pipeline.compile ~seed cfg program))
+                     .steady_cycles)
+                 seeds)
+          in
+          let base_throughput = Webserver.throughput_of_cycles ~requests base in
+          let r2c_throughput = Webserver.throughput_of_cycles ~requests cycles in
+          {
+            flavour = name;
+            machine = profile.R2c_machine.Cost.name;
+            base_throughput;
+            r2c_throughput;
+            drop = 1.0 -. (r2c_throughput /. base_throughput);
+          })
+        [ (`Nginx, "nginx"); (`Apache, "apache") ])
+    machines
+
+let print results =
+  Table.print ~title:"Webserver throughput (requests per megacycle, saturated)"
+    ~headers:[ "server"; "machine"; "baseline"; "R2C"; "drop"; "paper drop" ]
+    ~aligns:[ Table.Left; Left; Right; Right; Right; Right ]
+    (List.map
+       (fun r ->
+         let paper =
+           if r.machine = "i9-9900K" then
+             match List.assoc_opt r.flavour Paper.webserver_drop_intel with
+             | Some d -> Table.pct d
+             | None -> "-"
+           else
+             let lo, hi = Paper.webserver_drop_amd in
+             Printf.sprintf "%s-%s" (Table.pct lo) (Table.pct hi)
+         in
+         [
+           r.flavour;
+           r.machine;
+           Printf.sprintf "%.1f" r.base_throughput;
+           Printf.sprintf "%.1f" r.r2c_throughput;
+           Table.pct r.drop;
+           paper;
+         ])
+       results);
+  (* The saturation sweep backing the measurement point. *)
+  match results with
+  | r :: _ ->
+      let curve =
+        Webserver.saturation_curve ~cpu_rate:r.base_throughput
+          ~connections:[ 4; 8; 16; 24; 32; 48; 64 ]
+      in
+      Table.print ~title:"saturation sweep (baseline nginx)"
+        ~headers:[ "connections"; "req/Mcycle" ]
+        ~aligns:[ Table.Right; Right ]
+        (List.map (fun (c, v) -> [ string_of_int c; Printf.sprintf "%.1f" v ]) curve)
+  | [] -> ()

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Buffer Bytes Char Hashtbl Ir List Printf Queue R2c_machine Result String

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Buffer Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/text.ml: Array Buffer Char Ir List Printf String

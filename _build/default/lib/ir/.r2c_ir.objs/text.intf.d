@@ -1,0 +1,1 @@
+lib/ir/text.mli: Ir

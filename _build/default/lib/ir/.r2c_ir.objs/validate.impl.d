@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Hashtbl Ir List Option Printf R2c_machine

@@ -1,0 +1,27 @@
+(** Reference interpreter.
+
+    Executes an IR program directly — no compilation, no diversification,
+    its own trivial memory layout — producing the observable behaviour
+    (printed output, exit code, sensitive-call log). The compiler test
+    suite runs every workload through both this interpreter and the full
+    compile-and-simulate pipeline and requires identical observables; this
+    is the analogue of the paper's browser-test-suite validation
+    (Section 6.3). Programs whose output depends on absolute addresses are
+    outside the differential contract. *)
+
+type result = {
+  output : string;
+  exit_code : int;
+  sensitive : (int * int) list;
+  steps : int;
+}
+
+type error =
+  | Fuel_exhausted
+  | Runtime_error of string
+
+val error_to_string : error -> string
+
+(** [run ?fuel ?input p] — interpret from [main]. [input] feeds
+    [read_input]. Default fuel: 50M IR steps. *)
+val run : ?fuel:int -> ?input:string list -> Ir.program -> (result, error) Result.t

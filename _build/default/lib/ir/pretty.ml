@@ -1,0 +1,70 @@
+let operand = function
+  | Ir.Const n -> string_of_int n
+  | Ir.Var v -> Printf.sprintf "v%d" v
+  | Ir.Global g -> "@" ^ g
+  | Ir.Func f -> "&" ^ f
+
+let binop = function
+  | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul" | Ir.Div -> "div"
+  | Ir.Rem -> "rem" | Ir.And -> "and" | Ir.Or -> "or" | Ir.Xor -> "xor"
+  | Ir.Shl -> "shl" | Ir.Shr -> "shr" | Ir.Sar -> "sar"
+
+let cmp = function
+  | Ir.Eq -> "eq" | Ir.Ne -> "ne" | Ir.Lt -> "lt"
+  | Ir.Le -> "le" | Ir.Gt -> "gt" | Ir.Ge -> "ge"
+
+let callee = function
+  | Ir.Direct f -> f
+  | Ir.Indirect op -> "*" ^ operand op
+  | Ir.Builtin b -> "!" ^ b
+
+let instr = function
+  | Ir.Mov (v, op) -> Printf.sprintf "v%d = %s" v (operand op)
+  | Ir.Binop (v, op, a, b) ->
+      Printf.sprintf "v%d = %s %s, %s" v (binop op) (operand a) (operand b)
+  | Ir.Cmp (v, c, a, b) ->
+      Printf.sprintf "v%d = cmp.%s %s, %s" v (cmp c) (operand a) (operand b)
+  | Ir.Load (v, base, off) -> Printf.sprintf "v%d = load [%s+%d]" v (operand base) off
+  | Ir.Load8 (v, base, off) -> Printf.sprintf "v%d = load8 [%s+%d]" v (operand base) off
+  | Ir.Store (base, off, value) ->
+      Printf.sprintf "store [%s+%d], %s" (operand base) off (operand value)
+  | Ir.Store8 (base, off, value) ->
+      Printf.sprintf "store8 [%s+%d], %s" (operand base) off (operand value)
+  | Ir.Slot_addr (v, i) -> Printf.sprintf "v%d = slot %d" v i
+  | Ir.Call (dst, c, args) ->
+      let lhs = match dst with Some v -> Printf.sprintf "v%d = " v | None -> "" in
+      Printf.sprintf "%scall %s(%s)" lhs (callee c) (String.concat ", " (List.map operand args))
+
+let term = function
+  | Ir.Ret None -> "ret"
+  | Ir.Ret (Some op) -> "ret " ^ operand op
+  | Ir.Br l -> Printf.sprintf "br L%d" l
+  | Ir.Cond_br (c, l1, l2) -> Printf.sprintf "br %s ? L%d : L%d" (operand c) l1 l2
+
+let func (f : Ir.func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%d params, %d vars, slots [%s]):\n" f.name f.nparams f.nvars
+       (String.concat ";" (Array.to_list (Array.map string_of_int f.slots))));
+  List.iter
+    (fun (b : Ir.block) ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" b.lbl);
+      List.iter (fun i -> Buffer.add_string buf ("  " ^ instr i ^ "\n")) b.body;
+      Buffer.add_string buf ("  " ^ term b.term ^ "\n"))
+    f.blocks;
+  Buffer.contents buf
+
+let global (g : Ir.global) =
+  let item = function
+    | Ir.Word n -> string_of_int n
+    | Ir.Sym_addr s -> "&" ^ s
+    | Ir.Sym_addr_off (s, o) -> Printf.sprintf "&%s+%d" s o
+    | Ir.Str s -> Printf.sprintf "%S" s
+  in
+  Printf.sprintf "global %s[%d] = {%s}\n" g.gname g.gsize
+    (String.concat ", " (List.map item g.ginit))
+
+let program (p : Ir.program) =
+  String.concat ""
+    (List.map global p.globals @ List.map func p.funcs)
+  ^ Printf.sprintf "main = %s\n" p.main

@@ -1,0 +1,7 @@
+(** Textual dump of IR programs, for debugging and golden tests. *)
+
+val operand : Ir.operand -> string
+val instr : Ir.instr -> string
+val term : Ir.term -> string
+val func : Ir.func -> string
+val program : Ir.program -> string

@@ -1,0 +1,115 @@
+type error = { where : string; what : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.what
+
+let check (p : Ir.program) =
+  let errors = ref [] in
+  let err where what = errors := { where; what } :: !errors in
+  let func_names = Hashtbl.create 64 in
+  let global_names = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Hashtbl.mem func_names f.name then err f.name "duplicate function name";
+      Hashtbl.replace func_names f.name f.nparams)
+    p.funcs;
+  List.iter
+    (fun (g : Ir.global) ->
+      if Hashtbl.mem global_names g.gname then err g.gname "duplicate global name";
+      if Hashtbl.mem func_names g.gname then err g.gname "global shadows function";
+      if Ir.init_footprint g.ginit > g.gsize then err g.gname "initialiser exceeds size";
+      Hashtbl.replace global_names g.gname ())
+    p.globals;
+  let sym_exists s = Hashtbl.mem func_names s || Hashtbl.mem global_names s in
+  List.iter
+    (fun (g : Ir.global) ->
+      List.iter
+        (function
+          | (Ir.Sym_addr s | Ir.Sym_addr_off (s, _)) when not (sym_exists s) ->
+              err g.gname (Printf.sprintf "initialiser references unknown symbol %s" s)
+          | Ir.Sym_addr _ | Ir.Sym_addr_off _ | Ir.Word _ | Ir.Str _ -> ())
+        g.ginit)
+    p.globals;
+  let check_func (f : Ir.func) =
+    let where what = err f.name what in
+    if f.nparams > f.nvars then where "nparams exceeds nvars";
+    let labels = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Ir.block) ->
+        if Hashtbl.mem labels b.lbl then
+          where (Printf.sprintf "duplicate label %d" b.lbl);
+        Hashtbl.replace labels b.lbl ())
+      f.blocks;
+    let check_label l =
+      if not (Hashtbl.mem labels l) then where (Printf.sprintf "branch to unknown label %d" l)
+    in
+    let check_var v =
+      if v < 0 || v >= f.nvars then where (Printf.sprintf "var %d out of range" v)
+    in
+    let check_operand = function
+      | Ir.Const _ -> ()
+      | Ir.Var v -> check_var v
+      | Ir.Global g ->
+          if not (Hashtbl.mem global_names g) then
+            where (Printf.sprintf "unknown global %s" g)
+      | Ir.Func fn ->
+          if not (Hashtbl.mem func_names fn) then
+            where (Printf.sprintf "unknown function %s" fn)
+    in
+    let check_callee callee nargs =
+      match callee with
+      | Ir.Direct name -> (
+          match Hashtbl.find_opt func_names name with
+          | None -> where (Printf.sprintf "call to unknown function %s" name)
+          | Some nparams ->
+              if nparams <> nargs then
+                where
+                  (Printf.sprintf "call to %s with %d args (expects %d)" name nargs nparams))
+      | Ir.Indirect op -> check_operand op
+      | Ir.Builtin name ->
+          if not (List.mem name R2c_machine.Image.builtin_names) then
+            where (Printf.sprintf "unknown builtin %s" name)
+    in
+    let check_instr = function
+      | Ir.Mov (v, op) ->
+          check_var v;
+          check_operand op
+      | Ir.Binop (v, _, a, b) | Ir.Cmp (v, _, a, b) ->
+          check_var v;
+          check_operand a;
+          check_operand b
+      | Ir.Load (v, base, _) | Ir.Load8 (v, base, _) ->
+          check_var v;
+          check_operand base
+      | Ir.Store (base, _, value) | Ir.Store8 (base, _, value) ->
+          check_operand base;
+          check_operand value
+      | Ir.Slot_addr (v, i) ->
+          check_var v;
+          if i < 0 || i >= Array.length f.slots then
+            where (Printf.sprintf "slot %d out of range" i)
+      | Ir.Call (dst, callee, args) ->
+          Option.iter check_var dst;
+          List.iter check_operand args;
+          check_callee callee (List.length args)
+    in
+    (match f.blocks with
+    | [] -> where "no blocks"
+    | _ -> ());
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter check_instr b.body;
+        match b.term with
+        | Ir.Ret None -> ()
+        | Ir.Ret (Some op) -> check_operand op
+        | Ir.Br l -> check_label l
+        | Ir.Cond_br (c, l1, l2) ->
+            check_operand c;
+            check_label l1;
+            check_label l2)
+      f.blocks
+  in
+  List.iter check_func p.funcs;
+  (match Ir.find_func p p.main with
+  | None -> err "program" (Printf.sprintf "main function %s not found" p.main)
+  | Some f -> if f.nparams <> 0 then err p.main "main must take no parameters");
+  List.rev !errors

@@ -1,0 +1,1 @@
+lib/machine/addr.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Addr Array Buffer Char Cost Fault Hashtbl Heap Icache Image Insn List Mem Perm Queue String Unwind

@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Buffer Cost Fault Heap Icache Image Insn Mem Queue

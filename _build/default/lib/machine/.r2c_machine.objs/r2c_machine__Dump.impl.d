@@ -1,0 +1,1 @@
+lib/machine/dump.ml: Array Buffer Hashtbl Image Insn List Perm Printf String

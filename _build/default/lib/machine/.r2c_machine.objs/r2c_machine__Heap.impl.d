@@ -1,0 +1,1 @@
+lib/machine/heap.ml: Addr Hashtbl List Mem Perm Printf

@@ -1,0 +1,1 @@
+lib/machine/image.ml: Hashtbl Insn List Perm

@@ -1,0 +1,1 @@
+lib/machine/loader.ml: Addr Array Bytes Cpu Heap Image List Mem Perm

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Addr Bytes Char Fault Hashtbl Int64 List Perm Printf

@@ -1,0 +1,1 @@
+lib/machine/process.ml: Addr Cost Cpu Fault Image Loader Mem Printf

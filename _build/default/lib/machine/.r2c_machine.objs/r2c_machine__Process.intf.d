@@ -1,0 +1,1 @@
+lib/machine/process.mli: Cost Cpu Fault Image

@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Cpu Fault Hashtbl Image Insn List Printf String

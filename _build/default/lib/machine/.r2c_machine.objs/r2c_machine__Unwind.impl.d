@@ -1,0 +1,1 @@
+lib/machine/unwind.ml: Array Hashtbl Image List Mem

@@ -1,0 +1,1 @@
+lib/machine/unwind.mli: Image Mem

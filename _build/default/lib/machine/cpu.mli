@@ -1,0 +1,70 @@
+(** The M64 interpreter.
+
+    Executes a loaded image with full permission checking, the x86-64
+    call/ret stack semantics the BTRA scheme builds on (Section 5.1), a
+    16-byte stack-alignment check at calls, cycle accounting against a
+    {!Cost.profile} (base cost + fetch bandwidth + icache misses), and the
+    call-frequency counter used for Table 2 (tail jumps are not counted,
+    matching the paper's instrumentation).
+
+    Library calls are intercepted at dedicated text addresses
+    ({!Image.builtin_names}); they model the unprotected glibc of
+    Section 7.4.1. *)
+
+type t = {
+  mem : Mem.t;
+  heap : Heap.t;
+  image : Image.t;
+  regs : int array;  (** 16 GPRs, indexed by [Insn.reg_index] *)
+  ymm : int array;  (** 16 vector registers x 8 words (zmm width) *)
+  mutable rip : int;
+  mutable cmp_l : int;
+  mutable cmp_r : int;
+  mutable cycles : float;
+  mutable insns : int;
+  mutable calls : int;
+  mutable halted : bool;
+  mutable exit_code : int;
+  profile : Cost.profile;
+  icache : Icache.t;
+  out : Buffer.t;  (** output of print_int / print_str *)
+  input : string Queue.t;  (** bytes consumed by read_input *)
+  mutable sensitive_log : (int * int) list;
+      (** (rdi, rsi) of every [sensitive] builtin call — the
+          attacker-success detector *)
+  mutable strict_align : bool;
+      (** check 16-byte stack alignment at every call (off by default:
+          real hardware only faults on aligned vector accesses; test
+          suites enable it to catch frame-layout bugs) *)
+  shadow : int list ref;
+      (** the backward-edge-CFI shadow stack, active when the image was
+          deployed with [shadow_stack] (Section 8.2) *)
+}
+
+(** [create ?strict_align ~profile ~mem ~heap image ~rip ~rsp] — registers
+    zeroed except RSP. *)
+val create :
+  ?strict_align:bool ->
+  profile:Cost.profile -> mem:Mem.t -> heap:Heap.t -> Image.t -> rip:int -> rsp:int -> t
+
+val reg_get : t -> Insn.reg -> int
+val reg_set : t -> Insn.reg -> int -> unit
+
+(** [step t] executes one instruction. Raises {!Fault.Fault}. *)
+val step : t -> unit
+
+type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
+
+(** [run t ~fuel] steps until halt, fault, or [fuel] instructions. *)
+val run : t -> fuel:int -> run_result
+
+(** [run_until t ~fuel ~break] like {!run} but also stops (returning
+    [Ok ()]) just before executing the instruction at an address in
+    [break]. *)
+val run_until : t -> fuel:int -> break:int list -> (unit, run_result) result
+
+(** [output t] — program output so far. *)
+val output : t -> string
+
+(** [push_input t s] queues bytes for [read_input]. *)
+val push_input : t -> string -> unit

@@ -1,0 +1,16 @@
+(** Objdump-style rendering of a linked image: functions in layout order
+    with symbolized headers, and annotations on the R2C artifacts (booby
+    trap bodies, BTRA pushes/batches, BTDP stores, prolog traps) so a
+    diversified binary can be studied the way the paper's figures present
+    theirs. *)
+
+(** [function_listing img f] — one function's disassembly. *)
+val function_listing : Image.t -> Image.func_info -> string
+
+(** [image img] — the whole text section: section summary, then every
+    function in address order. *)
+val image : Image.t -> string
+
+(** [summary img] — one paragraph: sizes, function/trap counts,
+    permissions, unwind-table rows. *)
+val summary : Image.t -> string

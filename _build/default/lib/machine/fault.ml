@@ -1,0 +1,37 @@
+type access = Read | Write | Exec
+
+type t =
+  | Segv of { addr : int; access : access }
+  | Guard_page of { addr : int; access : access }
+  | Booby_trap of { addr : int }
+  | Misaligned_stack of { rip : int; rsp : int }
+  | Invalid_opcode of { addr : int }
+  | Division_by_zero of { rip : int }
+  | Cfi_violation of { rip : int; expected : int; got : int }
+
+exception Fault of t
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Exec -> "exec"
+
+let to_string = function
+  | Segv { addr; access } ->
+      Printf.sprintf "SIGSEGV: %s at 0x%x" (access_to_string access) addr
+  | Guard_page { addr; access } ->
+      Printf.sprintf "SIGSEGV (guard page): %s at 0x%x" (access_to_string access) addr
+  | Booby_trap { addr } -> Printf.sprintf "SIGTRAP (booby trap) at 0x%x" addr
+  | Misaligned_stack { rip; rsp } ->
+      Printf.sprintf "misaligned stack at rip=0x%x rsp=0x%x" rip rsp
+  | Invalid_opcode { addr } -> Printf.sprintf "SIGILL at 0x%x" addr
+  | Division_by_zero { rip } -> Printf.sprintf "SIGFPE at rip=0x%x" rip
+  | Cfi_violation { rip; expected; got } ->
+      Printf.sprintf "CFI: shadow-stack mismatch at rip=0x%x (expected 0x%x, got 0x%x)" rip
+        expected got
+
+let is_detection = function
+  | Guard_page _ | Booby_trap _ | Cfi_violation _ -> true
+  | Segv _ | Misaligned_stack _ | Invalid_opcode _ | Division_by_zero _ -> false
+
+let raise_fault t = raise (Fault t)

@@ -1,0 +1,23 @@
+(** Direct-mapped instruction-cache model.
+
+    R2C's dominant costs are front-end effects: the push-based BTRA setup
+    "exerts significant pressure on the instruction cache" (Section 5.1.2)
+    and prolog traps likewise (Section 7.1). A small direct-mapped cache of
+    line tags reproduces that pressure honestly: bigger call sites and
+    trap-padded prologues touch more lines and evict more. *)
+
+type t
+
+(** [create ~lines ~line_bytes] — [lines] must be a power of two. *)
+val create : lines:int -> line_bytes:int -> t
+
+(** [access t ~addr ~len] touches the lines covering [\[addr, addr+len)] and
+    returns how many missed. *)
+val access : t -> addr:int -> len:int -> int
+
+val reset : t -> unit
+
+(** Cumulative miss/access counters. *)
+val misses : t -> int
+
+val accesses : t -> int

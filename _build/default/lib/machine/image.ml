@@ -1,0 +1,82 @@
+type func_info = {
+  fname : string;
+  entry : int;
+  code_len : int;
+  is_booby_trap : bool;
+}
+
+type t = {
+  code : (int, Insn.t * int) Hashtbl.t;
+  code_list : (int * Insn.t * int) array;
+  text_base : int;
+  text_len : int;
+  text_perm : Perm.t;
+  data_base : int;
+  data_len : int;
+  data_words : (int * int) list;
+  data_bytes : (int * string) list;
+  symbols : (string, int) Hashtbl.t;
+  funcs : func_info list;
+  entry : int;
+  builtin_addrs : (int, string) Hashtbl.t;
+  stack_bytes : int;
+  heap_base : int;
+  unwind_funcs : (int * int * int * int) array;
+  unwind_sites : (int, int) Hashtbl.t;
+  shadow_stack : bool;
+}
+
+let builtin_names =
+  [
+    "malloc"; "malloc_pages"; "free"; "mprotect_noread";
+    "print_int"; "print_str"; "read_input"; "sensitive"; "exit"; "backtrace";
+  ]
+
+let code_at img addr = Hashtbl.find_opt img.code addr
+
+let is_builtin img addr = Hashtbl.mem img.builtin_addrs addr
+
+let symbol img name =
+  match Hashtbl.find_opt img.symbols name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let func_of_addr img addr =
+  List.find_opt
+    (fun (f : func_info) -> addr >= f.entry && addr < f.entry + f.code_len)
+    img.funcs
+
+(* Pseudo-encoding: byte 0 is an opcode tag, later bytes mix the tag with
+   the position. Deterministic, so a leaked text page is a stable artifact
+   a disclosure attack can fingerprint. *)
+let opcode_tag : Insn.t -> int = function
+  | Mov _ -> 0x48
+  | Mov8 _ -> 0x8a
+  | Lea _ -> 0x8d
+  | Push _ -> 0x68
+  | Pop _ -> 0x58
+  | Binop _ -> 0x01
+  | Div _ | Rem _ -> 0xf7
+  | Neg _ -> 0xf6
+  | Cmp _ -> 0x39
+  | Setcc _ -> 0x0f
+  | Jmp _ -> 0xe9
+  | Jmp_ind _ -> 0xfe
+  | Jcc _ -> 0x0f
+  | Call _ -> 0xe8
+  | Call_ind _ -> 0xff
+  | Ret -> 0xc3
+  | Nop _ -> 0x90
+  | Trap -> 0xcc
+  | Vload _ -> 0xc5
+  | Vstore _ -> 0xc4
+  | Vload128 _ -> 0x66
+  | Vstore128 _ -> 0x67
+  | Vload512 _ -> 0x62
+  | Vstore512 _ -> 0x63
+  | Vzeroupper -> 0xc5
+  | Halt -> 0xf4
+
+let encode_byte insn k =
+  if k = 0 then opcode_tag insn
+  else (opcode_tag insn * 31 + k * 17) land 0xff

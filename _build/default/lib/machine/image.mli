@@ -1,0 +1,68 @@
+(** A linked executable image.
+
+    The linker produces one of these; the loader maps it; the CPU fetches
+    decoded instructions from [code]. Text bytes are also materialised into
+    memory with a deterministic pseudo-encoding so that read attacks against
+    non-execute-only text observe real bytes, while [code_at] is the
+    (defender/CPU-side) decoder.
+
+    [func_table] is defender-side metadata (symbols stay out of the
+    process's memory, as with a stripped binary plus external debug info);
+    attacks may only use it through the oracles that model their actual
+    capabilities. *)
+
+type func_info = {
+  fname : string;
+  entry : int;
+  code_len : int;  (** bytes *)
+  is_booby_trap : bool;
+}
+
+type t = {
+  code : (int, Insn.t * int) Hashtbl.t;
+      (** address -> decoded instruction and its layout-assigned byte
+          length (the length is fixed at layout time, before symbol
+          resolution, and drives the CPU's rip advance) *)
+  code_list : (int * Insn.t * int) array;  (** ascending address order *)
+  text_base : int;
+  text_len : int;
+  text_perm : Perm.t;
+  data_base : int;
+  data_len : int;
+  data_words : (int * int) list;  (** initialised 64-bit words *)
+  data_bytes : (int * string) list;  (** initialised byte runs *)
+  symbols : (string, int) Hashtbl.t;
+  funcs : func_info list;
+  entry : int;  (** _start *)
+  builtin_addrs : (int, string) Hashtbl.t;  (** intercepted library entries *)
+  stack_bytes : int;
+  heap_base : int;
+  unwind_funcs : (int * int * int * int) array;
+      (** (entry, code length, frame size, post-offset words) per compiled
+          function, ascending by entry — the CIE-like rows of the
+          Section 7.2.4 unwind tables *)
+  unwind_sites : (int, int) Hashtbl.t;
+      (** return address -> words between the RA slot and the caller frame
+          base (BTRA pre-offset + stack arguments) — the FDE-like rows *)
+  shadow_stack : bool;  (** run under backward-edge CFI (Section 8.2) *)
+}
+
+(** Intercepted library functions ("unprotected code" in the paper's
+    terms — the glibc analogue). *)
+val builtin_names : string list
+
+(** [code_at img addr] — decoded instruction and byte length at [addr]. *)
+val code_at : t -> int -> (Insn.t * int) option
+
+(** [is_builtin img addr] *)
+val is_builtin : t -> int -> bool
+
+(** [symbol img name] — address of a symbol; raises [Not_found]. *)
+val symbol : t -> string -> int
+
+(** [func_of_addr img addr] — the function whose body covers [addr]. *)
+val func_of_addr : t -> int -> func_info option
+
+(** [encode_byte insn k] — [k]-th byte of the pseudo-encoding of [insn];
+    used by the loader to fill text pages. *)
+val encode_byte : Insn.t -> int -> int

@@ -1,0 +1,29 @@
+let materialize_text mem (img : Image.t) =
+  Array.iter
+    (fun (addr, insn, len) ->
+      for k = 0 to len - 1 do
+        Mem.write_u8 mem (addr + k) (Image.encode_byte insn k)
+      done)
+    img.Image.code_list
+
+let load ?(strict_align = false) ~profile (img : Image.t) =
+  let mem = Mem.create () in
+  (* Text: filled while writable, then sealed. *)
+  let text_len = Addr.align_up (max img.Image.text_len Addr.page_size) ~align:Addr.page_size in
+  Mem.map mem img.Image.text_base text_len Perm.rw;
+  materialize_text mem img;
+  Mem.protect mem img.Image.text_base text_len img.Image.text_perm;
+  (* Data. *)
+  let data_len = Addr.align_up (max img.Image.data_len Addr.page_size) ~align:Addr.page_size in
+  Mem.map mem img.Image.data_base data_len Perm.rw;
+  List.iter (fun (addr, v) -> Mem.write_u64 mem addr v) img.Image.data_words;
+  List.iter
+    (fun (addr, s) -> Mem.write_bytes mem addr (Bytes.of_string s))
+    img.Image.data_bytes;
+  (* Stack. *)
+  let stack_len = Addr.align_up img.Image.stack_bytes ~align:Addr.page_size in
+  Mem.map mem (Addr.stack_top - stack_len) stack_len Perm.rw;
+  let rsp = Addr.stack_top - 64 in
+  assert (rsp land 15 = 0);
+  let heap = Heap.create mem ~base:img.Image.heap_base in
+  Cpu.create ~strict_align ~profile ~mem ~heap img ~rip:img.Image.entry ~rsp

@@ -1,0 +1,10 @@
+(** Program loading: maps an image into fresh memory and hands back a ready
+    CPU.
+
+    Text is materialised as pseudo-encoded bytes and then sealed with the
+    image's text permission ([rx] for the legacy baseline, [xo] when the
+    execute-only assumption of Section 3 is in force); data is mapped
+    read-write with its initialisers applied; the stack is mapped at the
+    canonical top of user space. *)
+
+val load : ?strict_align:bool -> profile:Cost.profile -> Image.t -> Cpu.t

@@ -1,0 +1,180 @@
+type page = {
+  mutable perm : Perm.t;
+  mutable guard : bool;
+  data : Bytes.t;
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable last_index : int;  (* one-entry lookup cache *)
+  mutable last_page : page option;
+  mutable max_resident : int;
+}
+
+let create () =
+  { pages = Hashtbl.create 1024; last_index = -1; last_page = None; max_resident = 0 }
+
+let find_page t index =
+  if t.last_index = index then t.last_page
+  else begin
+    let p = Hashtbl.find_opt t.pages index in
+    t.last_index <- index;
+    t.last_page <- p;
+    p
+  end
+
+let page_range addr len =
+  assert (len > 0);
+  (Addr.page_of addr, Addr.page_of (addr + len - 1))
+
+let map t addr len perm =
+  let first, last = page_range addr len in
+  for i = first to last do
+    if Hashtbl.mem t.pages i then
+      invalid_arg (Printf.sprintf "Mem.map: page 0x%x already mapped" (i lsl Addr.page_shift));
+    Hashtbl.replace t.pages i
+      { perm; guard = false; data = Bytes.make Addr.page_size '\000' }
+  done;
+  t.last_index <- -1;
+  t.last_page <- None;
+  t.max_resident <- max t.max_resident (Hashtbl.length t.pages)
+
+let unmap t addr len =
+  let first, last = page_range addr len in
+  for i = first to last do
+    Hashtbl.remove t.pages i
+  done;
+  t.last_index <- -1;
+  t.last_page <- None
+
+let protect t addr len perm =
+  let first, last = page_range addr len in
+  for i = first to last do
+    match Hashtbl.find_opt t.pages i with
+    | Some p -> p.perm <- perm
+    | None ->
+        invalid_arg (Printf.sprintf "Mem.protect: page 0x%x unmapped" (i lsl Addr.page_shift))
+  done
+
+let tag_guard t addr len =
+  let first, last = page_range addr len in
+  for i = first to last do
+    match Hashtbl.find_opt t.pages i with
+    | Some p -> p.guard <- true
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Mem.tag_guard: page 0x%x unmapped" (i lsl Addr.page_shift))
+  done
+
+let is_mapped t addr = Hashtbl.mem t.pages (Addr.page_of addr)
+
+let perm_at t addr =
+  match find_page t (Addr.page_of addr) with Some p -> Some p.perm | None -> None
+
+let fault_access addr access guard =
+  if guard then Fault.raise_fault (Guard_page { addr; access })
+  else Fault.raise_fault (Segv { addr; access })
+
+let checked_page t addr (access : Fault.access) =
+  match find_page t (Addr.page_of addr) with
+  | None -> Fault.raise_fault (Segv { addr; access })
+  | Some p ->
+      let allowed =
+        match access with
+        | Read -> p.perm.Perm.read
+        | Write -> p.perm.Perm.write
+        | Exec -> p.perm.Perm.exec
+      in
+      if not allowed then fault_access addr access p.guard;
+      p
+
+let read_u8 t addr =
+  let p = checked_page t addr Read in
+  Char.code (Bytes.unsafe_get p.data (Addr.page_offset addr))
+
+let write_u8 t addr v =
+  let p = checked_page t addr Write in
+  Bytes.unsafe_set p.data (Addr.page_offset addr) (Char.unsafe_chr (v land 0xff))
+
+let read_u64 t addr =
+  let off = Addr.page_offset addr in
+  if off <= Addr.page_size - 8 then
+    let p = checked_page t addr Read in
+    Int64.to_int (Bytes.get_int64_le p.data off)
+    (* The int64->int truncation drops bit 63; our address space and
+       workload arithmetic never exercise it. *)
+  else begin
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor read_u8 t (addr + i)
+    done;
+    !v
+  end
+
+let write_u64 t addr v =
+  let off = Addr.page_offset addr in
+  if off <= Addr.page_size - 8 then
+    let p = checked_page t addr Write in
+    Bytes.set_int64_le p.data off (Int64.of_int v)
+  else
+    for i = 0 to 7 do
+      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (read_u8 t (addr + i)))
+  done;
+  b
+
+let write_bytes t addr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 t (addr + i) (Char.code (Bytes.unsafe_get b i))
+  done
+
+let peek_u8 t addr =
+  match find_page t (Addr.page_of addr) with
+  | None -> None
+  | Some p -> Some (Char.code (Bytes.unsafe_get p.data (Addr.page_offset addr)))
+
+let peek_u64 t addr =
+  let off = Addr.page_offset addr in
+  if off <= Addr.page_size - 8 then
+    match find_page t (Addr.page_of addr) with
+    | None -> None
+    | Some p -> Some (Int64.to_int (Bytes.get_int64_le p.data off))
+  else begin
+    let rec bytes i acc =
+      if i < 0 then Some acc
+      else
+        match peek_u8 t (addr + i) with
+        | None -> None
+        | Some b -> bytes (i - 1) ((acc lsl 8) lor b)
+    in
+    bytes 7 0
+  end
+
+let poke_u64 t addr v =
+  match find_page t (Addr.page_of addr) with
+  | None -> invalid_arg (Printf.sprintf "Mem.poke_u64: 0x%x unmapped" addr)
+  | Some p ->
+      let off = Addr.page_offset addr in
+      if off <= Addr.page_size - 8 then Bytes.set_int64_le p.data off (Int64.of_int v)
+      else
+        for i = 0 to 7 do
+          let b = (v lsr (8 * i)) land 0xff in
+          match find_page t (Addr.page_of (addr + i)) with
+          | Some q -> Bytes.unsafe_set q.data (Addr.page_offset (addr + i)) (Char.chr b)
+          | None -> invalid_arg "Mem.poke_u64: crosses unmapped page"
+        done
+
+let guard_page_addrs t =
+  Hashtbl.fold
+    (fun idx p acc -> if p.guard then (idx lsl Addr.page_shift) :: acc else acc)
+    t.pages []
+  |> List.sort compare
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let max_mapped_pages t = t.max_resident

@@ -1,0 +1,62 @@
+(** Paged virtual memory with permissions.
+
+    Provides the primitives the defense depends on: page-granular
+    protection ([mprotect]-style {!protect}), guard-page tagging so that a
+    BTDP dereference is distinguishable from an ordinary crash in reports,
+    and resident-set accounting for the memory-overhead experiment
+    (Section 6.2.5).
+
+    All checked accessors raise {!Fault.Fault}. The [peek]/[poke] variants
+    ignore permissions — they model the defender/experimenter's view (e.g.
+    loaders and ground-truth checks in tests), never the attacker's. *)
+
+type t
+
+val create : unit -> t
+
+(** [map t addr len perm] maps the pages covering [\[addr, addr+len)],
+    zero-filled. Remapping an already-mapped page is an error. *)
+val map : t -> int -> int -> Perm.t -> unit
+
+(** [unmap t addr len] removes the covered pages. *)
+val unmap : t -> int -> int -> unit
+
+(** [protect t addr len perm] changes permissions of covered (mapped)
+    pages. *)
+val protect : t -> int -> int -> Perm.t -> unit
+
+(** [tag_guard t addr len] marks covered pages as BTDP guard pages:
+    permission faults on them raise {!Fault.constructor-Guard_page}. *)
+val tag_guard : t -> int -> int -> unit
+
+val is_mapped : t -> int -> bool
+
+(** [perm_at t addr] — permissions of the page holding [addr], if mapped. *)
+val perm_at : t -> int -> Perm.t option
+
+(** Checked accessors (raise {!Fault.Fault} on violation). Multi-byte
+    accesses may cross page boundaries. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u64 : t -> int -> int
+val write_u64 : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+
+(** Permission-free accessors for the simulator/defender side. [peek_u64]
+    returns [None] when unmapped. *)
+
+val peek_u64 : t -> int -> int option
+val peek_u8 : t -> int -> int option
+val poke_u64 : t -> int -> int -> unit
+
+(** [guard_page_addrs t] — base addresses of pages tagged as guards;
+    defender-side ground truth for tests and reports. *)
+val guard_page_addrs : t -> int list
+
+(** [mapped_pages t] — currently resident pages; [max_mapped_pages t] — the
+    high-water mark (maxrss analogue). *)
+
+val mapped_pages : t -> int
+val max_mapped_pages : t -> int

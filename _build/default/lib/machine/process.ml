@@ -1,0 +1,62 @@
+type outcome = Exited of int | Crashed of Fault.t | Timeout
+
+type t = {
+  image : Image.t;
+  profile : Cost.profile;
+  fuel : int;
+  strict_align : bool;
+  mutable cpu : Cpu.t;
+  mutable detections : Fault.t list;
+  mutable crashes : int;
+  mutable restarts : int;
+}
+
+let start ?(profile = Cost.epyc_rome) ?(fuel = 50_000_000) ?(strict_align = false) image =
+  {
+    image;
+    profile;
+    fuel;
+    strict_align;
+    cpu = Loader.load ~strict_align ~profile image;
+    detections = [];
+    crashes = 0;
+    restarts = 0;
+  }
+
+let record_fault t f =
+  t.crashes <- t.crashes + 1;
+  if Fault.is_detection f then t.detections <- f :: t.detections
+
+let run t =
+  match Cpu.run t.cpu ~fuel:t.fuel with
+  | Cpu.Halted -> Exited t.cpu.Cpu.exit_code
+  | Cpu.Fuel_exhausted -> Timeout
+  | Cpu.Faulted f ->
+      record_fault t f;
+      Crashed f
+
+let run_until t ~break =
+  match Cpu.run_until t.cpu ~fuel:t.fuel ~break with
+  | Ok () -> `Hit
+  | Error Cpu.Halted -> `Done (Exited t.cpu.Cpu.exit_code)
+  | Error Cpu.Fuel_exhausted -> `Done Timeout
+  | Error (Cpu.Faulted f) ->
+      record_fault t f;
+      `Done (Crashed f)
+
+let restart t =
+  t.cpu <- Loader.load ~strict_align:t.strict_align ~profile:t.profile t.image;
+  t.restarts <- t.restarts + 1
+
+let outcome_to_string = function
+  | Exited n -> Printf.sprintf "exited(%d)" n
+  | Crashed f -> Printf.sprintf "crashed(%s)" (Fault.to_string f)
+  | Timeout -> "timeout"
+
+let cycles t = t.cpu.Cpu.cycles
+let insns t = t.cpu.Cpu.insns
+let calls t = t.cpu.Cpu.calls
+let maxrss_bytes t = Mem.max_mapped_pages t.cpu.Cpu.mem * Addr.page_size
+let output t = Cpu.output t.cpu
+let sensitive_log t = t.cpu.Cpu.sensitive_log
+let detected t = t.detections <> []

@@ -1,0 +1,55 @@
+(** A running process: image + CPU + crash/restart bookkeeping.
+
+    Restart keeps the same image (and therefore the same randomized layout),
+    modelling the worker-respawn behaviour of nginx/Apache/OpenSSH that
+    Blind ROP exploits (Section 4, [11]); detection events (booby traps,
+    guard pages) are accumulated across restarts — they are what a
+    monitoring system would see. *)
+
+type outcome = Exited of int | Crashed of Fault.t | Timeout
+
+type t = {
+  image : Image.t;
+  profile : Cost.profile;
+  fuel : int;
+  strict_align : bool;
+  mutable cpu : Cpu.t;
+  mutable detections : Fault.t list;
+  mutable crashes : int;
+  mutable restarts : int;
+}
+
+(** [start ?profile ?fuel ?strict_align image] loads the image; nothing
+    runs yet. Default profile {!Cost.epyc_rome}, default fuel 50M
+    instructions, strict alignment off. *)
+val start : ?profile:Cost.profile -> ?fuel:int -> ?strict_align:bool -> Image.t -> t
+
+(** [run t] — run to halt/fault/fuel, recording crashes and detections. *)
+val run : t -> outcome
+
+(** [run_until t ~break] — run up to an address in [break]; [`Hit] means the
+    process is stopped there (e.g. a blocked victim thread whose stack the
+    attacker inspects). *)
+val run_until : t -> break:int list -> [ `Hit | `Done of outcome ]
+
+(** [restart t] — fresh CPU and memory from the same image. Input queue and
+    output start empty; detection history is preserved. *)
+val restart : t -> unit
+
+val outcome_to_string : outcome -> string
+
+(** Accessors. *)
+
+val cycles : t -> float
+
+val insns : t -> int
+val calls : t -> int
+
+(** [maxrss_bytes t] — peak resident set, the Section 6.2.5 metric. *)
+val maxrss_bytes : t -> int
+
+val output : t -> string
+val sensitive_log : t -> (int * int) list
+
+(** [detected t] — true if any booby trap or guard page fired so far. *)
+val detected : t -> bool

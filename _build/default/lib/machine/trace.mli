@@ -1,0 +1,29 @@
+(** Execution tracing: a bounded ring of executed-instruction records, for
+    debugging diversified binaries and for post-mortem views of attack
+    runs (what did the victim execute right before the booby trap?). *)
+
+type record = {
+  rip : int;
+  insn : Insn.t;
+  rsp : int;
+  symbol : string option;  (** function covering [rip], if compiled code *)
+}
+
+type t
+
+(** [create ~capacity] — keeps the last [capacity] records. *)
+val create : capacity:int -> t
+
+(** [attach t cpu] — wrap [cpu]'s stepping: call {!step} instead of
+    {!Cpu.step} to record. *)
+val step : t -> Cpu.t -> unit
+
+(** [run t cpu ~fuel] — traced equivalent of {!Cpu.run}. *)
+val run : t -> Cpu.t -> fuel:int -> Cpu.run_result
+
+(** [records t] — oldest first. *)
+val records : t -> record list
+
+(** [pp_tail t ~n] — the last [n] records, one per line, annotated with
+    function names. *)
+val pp_tail : t -> n:int -> string

@@ -1,0 +1,17 @@
+(** Stack unwinding through R2C frames (Section 7.2.4).
+
+    Walks a call stack using the image's unwind tables, stepping over BTRA
+    pre/post offsets and pushed stack arguments — the exception-handling /
+    backtrace support the paper emits CFI directives for. The walk starts
+    from a return-address slot (e.g. the slot a library function sees at
+    entry) and follows FDE rows until a return address with no row appears
+    (the synthesized [_start]).
+
+    The table rows are keyed by program-counter ranges and addresses, not
+    function symbols: as the paper argues, leaked table *contents* do not
+    help an attacker who lacks the randomized layout. *)
+
+(** [backtrace mem img ~ra_slot] — return addresses of the active frames,
+    innermost first. Sound between a frame's prologue end and epilogue
+    start (not mid-call-setup), like real unwind tables at throw points. *)
+val backtrace : Mem.t -> Image.t -> ra_slot:int -> int list

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~headers ?(aligns = []) rows =
+  let ncols = List.length headers in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let all = headers :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let align_of c = try List.nth aligns c with Failure _ | Invalid_argument _ -> Left in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun c cell -> pad (align_of c) (List.nth widths c) cell) row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row headers :: sep :: List.map render_row rows)
+
+let print ~title ~headers ?(aligns = []) rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~headers ~aligns rows)
+
+let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+
+let ratio x = Printf.sprintf "%.2f" x

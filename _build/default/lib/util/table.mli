@@ -1,0 +1,22 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints paper-style tables (Table 1, 2, 3 and the
+    Figure 6 series) to stdout; this module does the column alignment. *)
+
+type align = Left | Right
+
+(** [render ~headers ~aligns rows] lays the string cells out in padded
+    columns. [aligns] applies per column; missing entries default to
+    [Left]. Rows shorter than [headers] are padded with empty cells. *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~title ~headers ~aligns rows] renders with a title line and a
+    separator, then prints to stdout. *)
+val print : title:string -> headers:string list -> ?aligns:align list -> string list list -> unit
+
+(** [pct x] formats a ratio as a percentage with one decimal ("6.6%" for
+    [0.066]). *)
+val pct : float -> string
+
+(** [ratio x] formats an overhead ratio with two decimals ("1.06"). *)
+val ratio : float -> string

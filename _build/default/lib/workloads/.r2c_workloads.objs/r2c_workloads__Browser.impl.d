@@ -1,0 +1,1 @@
+lib/workloads/browser.ml: Buffer Builder Char Ir String Wb

@@ -1,0 +1,1 @@
+lib/workloads/genprog.ml: Builder Ir List Printf R2c_util Wb

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Buffer Builder Char Ir List String Wb

@@ -1,0 +1,1 @@
+lib/workloads/vulnapp.ml: Builder Ir R2c_compiler R2c_core R2c_machine

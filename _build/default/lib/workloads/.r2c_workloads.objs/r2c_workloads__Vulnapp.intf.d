@@ -1,0 +1,1 @@
+lib/workloads/vulnapp.mli: Ir R2c_compiler R2c_core R2c_machine

@@ -1,0 +1,1 @@
+lib/workloads/wb.ml: Builder Ir

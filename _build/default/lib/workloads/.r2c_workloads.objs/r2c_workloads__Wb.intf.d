@@ -1,0 +1,1 @@
+lib/workloads/wb.mli: Builder Ir

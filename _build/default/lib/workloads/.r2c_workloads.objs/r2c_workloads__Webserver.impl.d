@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Builder Float Ir List Wb

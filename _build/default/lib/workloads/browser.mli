@@ -1,0 +1,16 @@
+(** A browser-shaped workload (Section 6.3's WebKit/Chromium analogue).
+
+    Where {!Genprog} exercises the compiler with *unstructured* scale, this
+    program exercises it with browser-*shaped* structure: an HTML
+    tokenizer (byte scanning + interning), recursive DOM construction on
+    the heap, selector matching and style application, a recursive layout
+    pass, virtual event dispatch through handler tables, and a small
+    script-bytecode interpreter — the subsystem mix that makes browsers
+    the paper's scalability stress test. The deepest layout recursion
+    calls the [backtrace] builtin, so a full-R2C differential run also
+    validates unwinding through many diversified frames.
+
+    Prints per-subsystem checksums; fully deterministic. *)
+
+(** [program ~pages] — render [pages] synthetic pages. *)
+val program : pages:int -> Ir.program

@@ -1,0 +1,13 @@
+(** Random program generation for the scalability experiment (Section 6.3).
+
+    The paper's claim is that the R2C compiler ingests multi-million-line
+    browsers and the output still passes their test suites. Our analogue:
+    generate seeded random programs with thousands of functions (layered
+    call DAG, mixed arithmetic/memory/loop/call bodies), compile them under
+    full R2C, execute, and differentially check the printed checksum
+    against the reference interpreter. *)
+
+(** [generate ~seed ~funcs] — a program with [funcs] functions (plus main)
+    whose call graph is a layered DAG; every function is reachable and
+    executed at least once. *)
+val generate : seed:int -> funcs:int -> Ir.program

@@ -1,0 +1,31 @@
+(** The SPEC CPU 2017-shaped workload suite.
+
+    Twelve synthetic programs named after the paper's C/C++ benchmarks
+    (Section 6.2). Each reproduces its namesake's *character* — the
+    computational kernel style and, crucially, the call density of Table 2
+    (scaled by ~10^-6 for simulation speed): nab is a sea of tiny math
+    helper calls, mcf chases pointers with frequent small calls, omnetpp
+    dispatches virtual handlers off an event queue, lbm is a nearly
+    call-free stencil, and so on. Figure 6 and Table 1 emerge from these
+    densities interacting with the cost model.
+
+    Every program prints a checksum, so the differential suite validates
+    each one under every diversity configuration. *)
+
+type benchmark = {
+  name : string;
+  program : Ir.program;  (** the reference input *)
+  inputs : Ir.program list;
+      (** three input sizes (train/ref/big), as SPEC runs several inputs;
+          Table 2 reports the median call count across them *)
+  paper_calls : float;  (** Table 2's median executed call count *)
+  cpp : bool;  (** C++ benchmark in SPEC's terms *)
+}
+
+(** The twelve benchmarks, in Table 2's order. [scale] (default 1.0)
+    multiplies workload sizes; the default is calibrated to Table 2's
+    relative call counts at ~10^-6 scale. *)
+val all : ?scale:float -> unit -> benchmark list
+
+(** [find name] — by benchmark name; raises [Not_found]. *)
+val find : ?scale:float -> string -> benchmark

@@ -1,0 +1,29 @@
+(** The webserver workload (Section 6.2's nginx/Apache benchmarks).
+
+    An event-loop worker serving small static pages: per request it parses
+    a synthetic request line, routes via a hash lookup, copies a 64-byte
+    page into the response buffer and updates access statistics — the
+    call-and-byte-copy profile of a static-file server. A connection table
+    occupies a realistic chunk of the worker's heap, so the resident-set
+    comparison (Section 6.2.5's ~100% webserver overhead, ~55% of it BTDP
+    pages) is meaningful.
+
+    Throughput is CPU-bound at saturation (the paper saturates cores with
+    wrk): requests per megacycle is the figure of merit, and the R2C
+    throughput drop is the inverse of its cycle overhead.
+
+    [server] builds the worker program; two flavours model the paper's
+    subjects: [`Nginx] (event loop, fewer bigger handlers) and [`Apache]
+    (per-request dispatch through more helper calls). *)
+
+type flavour = [ `Nginx | `Apache ]
+
+val server : flavour -> requests:int -> Ir.program
+
+(** [throughput_of_cycles ~requests cycles] — requests per megacycle. *)
+val throughput_of_cycles : requests:int -> float -> float
+
+(** [saturation_curve ~cpu_rate ~connections] — the wrk-style sweep: served
+    rate at each concurrent-connection count, saturating at the CPU-bound
+    rate (used to pick the saturation point as the paper does). *)
+val saturation_curve : cpu_rate:float -> connections:int list -> (int * float) list

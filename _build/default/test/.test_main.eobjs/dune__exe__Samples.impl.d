@@ -1,0 +1,1 @@
+test/samples.ml: Builder Char Ir List

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Addr Alcotest Array Cost Cpu Dump Insn List Loader Mem Process R2c_attacks R2c_compiler R2c_core R2c_defenses R2c_machine R2c_workloads Samples String Trace

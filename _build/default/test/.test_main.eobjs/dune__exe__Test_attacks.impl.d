@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Interp List Printf R2c_attacks R2c_core R2c_defenses R2c_machine R2c_util R2c_workloads

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Addr Alcotest Array Hashtbl Image Insn Interp Ir List Perm Printf Process R2c_compiler R2c_machine Samples

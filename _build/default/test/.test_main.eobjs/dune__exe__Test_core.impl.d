@@ -1,0 +1,1 @@
+test/test_core.ml: Addr Alcotest Array Builder Cpu Fault Hashtbl Image Interp Ir List Mem Option Perm Printf Process R2c_compiler R2c_core R2c_machine R2c_util Samples

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Addr Alcotest Char Cpu Fault Insn List Perm Process R2c_compiler R2c_machine

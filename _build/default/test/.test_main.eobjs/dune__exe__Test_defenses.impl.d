@@ -1,0 +1,1 @@
+test/test_defenses.ml: Addr Alcotest Image List Perm Process R2c_attacks R2c_core R2c_defenses R2c_machine R2c_workloads String

@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Array Builder Insn Ir List Printf R2c_compiler R2c_machine Samples

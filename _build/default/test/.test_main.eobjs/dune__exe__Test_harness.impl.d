@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Builder Ir List Printf R2c_compiler R2c_core R2c_harness R2c_workloads

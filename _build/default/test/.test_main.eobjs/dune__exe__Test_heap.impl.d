@@ -1,0 +1,1 @@
+test/test_heap.ml: Addr Alcotest Heap Mem R2c_machine

@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Insn List R2c_machine

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Interp Ir List Pretty Samples String Validate

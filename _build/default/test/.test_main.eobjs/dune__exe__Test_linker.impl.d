@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Builder Image Insn Ir List Process R2c_compiler R2c_machine Validate

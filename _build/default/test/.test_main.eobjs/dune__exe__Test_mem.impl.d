@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Alcotest Bytes Fault Mem Perm R2c_machine

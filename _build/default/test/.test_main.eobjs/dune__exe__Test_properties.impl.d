@@ -1,0 +1,1 @@
+test/test_properties.ml: Addr Array Char Gen Hashtbl Heap Image Interp List Mem Process QCheck QCheck_alcotest R2c_attacks R2c_compiler R2c_core R2c_machine R2c_util R2c_workloads Seq String Text

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest List R2c_util

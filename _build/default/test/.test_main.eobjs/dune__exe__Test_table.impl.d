@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Insn List Mem Perm R2c_compiler R2c_machine R2c_util Samples String Unwind

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Builder Interp Ir List Printf R2c_core R2c_machine R2c_workloads Samples String Text Validate

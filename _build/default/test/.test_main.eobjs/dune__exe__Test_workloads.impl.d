@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Image Interp List Pretty Printf Process R2c_attacks R2c_compiler R2c_core R2c_machine R2c_workloads String Validate

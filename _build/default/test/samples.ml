@@ -1,0 +1,395 @@
+(* Shared sample IR programs exercising every language feature; used by the
+   IR interpreter tests and by the compiler differential tests. *)
+
+open Ir
+module B = Builder
+
+(* main prints a few arithmetic results. *)
+let arith_prog =
+  let fb = B.func "main" ~nparams:0 in
+  let x = B.mov fb (Const 10) in
+  let y = B.binop fb Mul x (Const 7) in
+  let z = B.binop fb Sub y (Const 4) in
+  B.call_void fb (Builtin "print_int") [ z ];
+  let q = B.binop fb Div z (Const 5) in
+  let r = B.binop fb Rem z (Const 5) in
+  B.call_void fb (Builtin "print_int") [ q ];
+  B.call_void fb (Builtin "print_int") [ r ];
+  let a = B.binop fb And (Const 0b1100) (Const 0b1010) in
+  let o = B.binop fb Or (Const 0b1100) (Const 0b1010) in
+  let e = B.binop fb Xor (Const 0b1100) (Const 0b1010) in
+  B.call_void fb (Builtin "print_int") [ a ];
+  B.call_void fb (Builtin "print_int") [ o ];
+  B.call_void fb (Builtin "print_int") [ e ];
+  let s = B.binop fb Shl (Const 3) (Const 4) in
+  let t = B.binop fb Shr s (Const 2) in
+  let u = B.binop fb Sar (Const (-64)) (Const 3) in
+  B.call_void fb (Builtin "print_int") [ s ];
+  B.call_void fb (Builtin "print_int") [ t ];
+  B.call_void fb (Builtin "print_int") [ u ];
+  B.ret fb (Some (Const 0));
+  B.program ~main:"main" [ B.finish fb ] []
+
+(* Recursive fibonacci, printed. *)
+let fib_prog n =
+  let fib = B.func "fib" ~nparams:1 in
+  let n0 = B.param 0 in
+  let base = B.new_block fib and rec_ = B.new_block fib in
+  let c = B.cmp fib Lt n0 (Const 2) in
+  B.cond_br fib c base rec_;
+  B.switch_to fib base;
+  B.ret fib (Some n0);
+  B.switch_to fib rec_;
+  let a = B.binop fib Sub n0 (Const 1) in
+  let fa = B.call fib (Direct "fib") [ a ] in
+  let b = B.binop fib Sub n0 (Const 2) in
+  let fb_ = B.call fib (Direct "fib") [ b ] in
+  let s = B.binop fib Add fa fb_ in
+  B.ret fib (Some s);
+  let main = B.func "main" ~nparams:0 in
+  let r = B.call main (Direct "fib") [ Const n ] in
+  B.call_void main (Builtin "print_int") [ r ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish fib; B.finish main ] []
+
+(* Iterative loop over a stack-allocated array. *)
+let loop_prog n =
+  let main = B.func "main" ~nparams:0 in
+  let arr = B.slot main (8 * 16) in
+  let ctr = B.slot main 8 in
+  let header = B.new_block main and body = B.new_block main and fin = B.new_block main in
+  let arr_addr = B.slot_addr main arr in
+  let ctr_addr = B.slot_addr main ctr in
+  (* Locals are not implicitly zero: clear the array first (the machine's
+     stack may hold residue from earlier frames, e.g. the BTDP
+     constructor's). *)
+  for k = 0 to 15 do
+    B.store main arr_addr (8 * k) (Const 0)
+  done;
+  B.store main ctr_addr 0 (Const 0);
+  B.br main header;
+  B.switch_to main header;
+  let i = B.load main ctr_addr 0 in
+  let c = B.cmp main Lt i (Const n) in
+  B.cond_br main c body fin;
+  B.switch_to main body;
+  let i2 = B.load main ctr_addr 0 in
+  let slot16 = B.binop main Rem i2 (Const 16) in
+  let off = B.binop main Mul slot16 (Const 8) in
+  let addr = B.binop main Add arr_addr off in
+  let old = B.load main addr 0 in
+  let nv = B.binop main Add old i2 in
+  B.store main addr 0 nv;
+  let i3 = B.binop main Add i2 (Const 1) in
+  B.store main ctr_addr 0 i3;
+  B.br main header;
+  B.switch_to main fin;
+  (* Print the checksum of the array. *)
+  let acc = B.slot main 8 in
+  let acc_addr = B.slot_addr main acc in
+  B.store main acc_addr 0 (Const 0);
+  let h2 = B.new_block main and b2 = B.new_block main and f2 = B.new_block main in
+  B.store main ctr_addr 0 (Const 0);
+  B.br main h2;
+  B.switch_to main h2;
+  let j = B.load main ctr_addr 0 in
+  let c2 = B.cmp main Lt j (Const 16) in
+  B.cond_br main c2 b2 f2;
+  B.switch_to main b2;
+  let j2 = B.load main ctr_addr 0 in
+  let off2 = B.binop main Mul j2 (Const 8) in
+  let addr2 = B.binop main Add arr_addr off2 in
+  let v = B.load main addr2 0 in
+  let a0 = B.load main acc_addr 0 in
+  let a1 = B.binop main Add a0 v in
+  B.store main acc_addr 0 a1;
+  let j3 = B.binop main Add j2 (Const 1) in
+  B.store main ctr_addr 0 j3;
+  B.br main h2;
+  B.switch_to main f2;
+  let final = B.load main acc_addr 0 in
+  B.call_void main (Builtin "print_int") [ final ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+(* Globals: words, symbol references, strings. *)
+let global_prog =
+  let greeting = B.global "greeting" ~size:16 [ Str "hello, r2c\000" ] in
+  let counter = B.global "counter" ~size:8 [ Word 5 ] in
+  let table = B.global "table" ~size:24 [ Word 100; Word 200; Word 300 ] in
+  let main = B.func "main" ~nparams:0 in
+  B.call_void main (Builtin "print_str") [ Global "greeting" ];
+  let c = B.load main (Global "counter") 0 in
+  B.call_void main (Builtin "print_int") [ c ];
+  B.store main (Global "counter") 0 (Const 9);
+  let c2 = B.load main (Global "counter") 0 in
+  B.call_void main (Builtin "print_int") [ c2 ];
+  let t1 = B.load main (Global "table") 8 in
+  B.call_void main (Builtin "print_int") [ t1 ];
+  (* Byte access into the string. *)
+  let b = B.load8 main (Global "greeting") 7 in
+  B.call_void main (Builtin "print_int") [ b ];
+  B.store8 main (Global "greeting") 0 (Const (Char.code 'H'));
+  B.call_void main (Builtin "print_str") [ Global "greeting" ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] [ greeting; counter; table ]
+
+(* Stack arguments: 9 parameters forces 3 onto the stack. *)
+let stack_args_prog =
+  let sum9 = B.func "sum9" ~nparams:9 in
+  let acc = ref (B.param 0) in
+  for i = 1 to 8 do
+    acc := B.binop sum9 Add !acc (B.param i)
+  done;
+  B.ret sum9 (Some !acc);
+  let weigh = B.func "weigh" ~nparams:9 in
+  (* Weighted: arg_i * (i+1), uses stack args repeatedly. *)
+  let acc = ref (Const 0) in
+  for i = 0 to 8 do
+    let w = B.binop weigh Mul (B.param i) (Const (i + 1)) in
+    acc := B.binop weigh Add !acc w
+  done;
+  B.ret weigh (Some !acc);
+  let main = B.func "main" ~nparams:0 in
+  let args = List.init 9 (fun i -> Ir.Const (i + 1)) in
+  let s = B.call main (Direct "sum9") args in
+  B.call_void main (Builtin "print_int") [ s ];
+  let w = B.call main (Direct "weigh") args in
+  B.call_void main (Builtin "print_int") [ w ];
+  (* Nested: an 8-arg call inside a function that itself has stack args. *)
+  let sum8 = B.func "sum8" ~nparams:8 in
+  let acc = ref (B.param 0) in
+  for i = 1 to 7 do
+    acc := B.binop sum8 Add !acc (B.param i)
+  done;
+  B.ret sum8 (Some !acc);
+  let outer = B.func "outer" ~nparams:7 in
+  let inner_args = List.init 8 (fun i -> if i < 7 then Ir.Var i else Ir.Const 80) in
+  let r = B.call outer (Direct "sum8") inner_args in
+  let r2 = B.binop outer Add r (B.param 6) in
+  B.ret outer (Some r2);
+  let o = B.call main (Direct "outer") (List.init 7 (fun i -> Ir.Const (10 + i))) in
+  B.call_void main (Builtin "print_int") [ o ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main"
+    [ B.finish sum9; B.finish weigh; B.finish sum8; B.finish outer; B.finish main ]
+    []
+
+(* Indirect calls through a function-pointer table in the data section. *)
+let indirect_prog =
+  let double_ = B.func "double" ~nparams:1 in
+  let r = B.binop double_ Add (B.param 0) (B.param 0) in
+  B.ret double_ (Some r);
+  let square = B.func "square" ~nparams:1 in
+  let r = B.binop square Mul (B.param 0) (B.param 0) in
+  B.ret square (Some r);
+  let negate = B.func "negate" ~nparams:1 in
+  let r = B.binop negate Sub (Const 0) (B.param 0) in
+  B.ret negate (Some r);
+  let table =
+    B.global "dispatch" ~size:24 [ Sym_addr "double"; Sym_addr "square"; Sym_addr "negate" ]
+  in
+  let main = B.func "main" ~nparams:0 in
+  for i = 0 to 2 do
+    let fp = B.load main (Global "dispatch") (8 * i) in
+    let v = B.call main (Indirect fp) [ Const 7 ] in
+    B.call_void main (Builtin "print_int") [ v ]
+  done;
+  (* Function address as a first-class value. *)
+  let v = B.call main (Indirect (Func "square")) [ Const 9 ] in
+  B.call_void main (Builtin "print_int") [ v ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main"
+    [ B.finish double_; B.finish square; B.finish negate; B.finish main ]
+    [ table ]
+
+(* Heap: build a linked list, sum it, free it. *)
+let heap_prog n =
+  let main = B.func "main" ~nparams:0 in
+  let head = B.slot main 8 in
+  let ctr = B.slot main 8 in
+  let head_addr = B.slot_addr main head in
+  let ctr_addr = B.slot_addr main ctr in
+  B.store main head_addr 0 (Const 0);
+  B.store main ctr_addr 0 (Const 0);
+  let h = B.new_block main and b = B.new_block main and f = B.new_block main in
+  B.br main h;
+  B.switch_to main h;
+  let i = B.load main ctr_addr 0 in
+  let c = B.cmp main Lt i (Const n) in
+  B.cond_br main c b f;
+  B.switch_to main b;
+  let node = B.call main (Builtin "malloc") [ Const 16 ] in
+  let i2 = B.load main ctr_addr 0 in
+  B.store main node 0 i2;
+  let old = B.load main head_addr 0 in
+  B.store main node 8 old;
+  B.store main head_addr 0 node;
+  let i3 = B.binop main Add i2 (Const 1) in
+  B.store main ctr_addr 0 i3;
+  B.br main h;
+  B.switch_to main f;
+  (* Walk and sum, freeing as we go. *)
+  let sum = B.slot main 8 in
+  let sum_addr = B.slot_addr main sum in
+  B.store main sum_addr 0 (Const 0);
+  let wh = B.new_block main and wb = B.new_block main and wf = B.new_block main in
+  B.br main wh;
+  B.switch_to main wh;
+  let cur = B.load main head_addr 0 in
+  let nonzero = B.cmp main Ne cur (Const 0) in
+  B.cond_br main nonzero wb wf;
+  B.switch_to main wb;
+  let cur2 = B.load main head_addr 0 in
+  let v = B.load main cur2 0 in
+  let s0 = B.load main sum_addr 0 in
+  let s1 = B.binop main Add s0 v in
+  B.store main sum_addr 0 s1;
+  let next = B.load main cur2 8 in
+  B.store main head_addr 0 next;
+  B.call_void main (Builtin "free") [ cur2 ];
+  B.br main wh;
+  B.switch_to main wf;
+  let final = B.load main sum_addr 0 in
+  B.call_void main (Builtin "print_int") [ final ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+(* Byte-level work: checksum over a buffer filled bytewise. *)
+let byte_prog =
+  let main = B.func "main" ~nparams:0 in
+  let buf = B.slot main 64 in
+  let buf_addr = B.slot_addr main buf in
+  let i_slot = B.slot main 8 in
+  let i_addr = B.slot_addr main i_slot in
+  B.store main i_addr 0 (Const 0);
+  let h = B.new_block main and b = B.new_block main and f = B.new_block main in
+  B.br main h;
+  B.switch_to main h;
+  let i = B.load main i_addr 0 in
+  let c = B.cmp main Lt i (Const 64) in
+  B.cond_br main c b f;
+  B.switch_to main b;
+  let i2 = B.load main i_addr 0 in
+  let v = B.binop main Mul i2 (Const 3) in
+  let v2 = B.binop main And v (Const 0xff) in
+  let addr = B.binop main Add buf_addr i2 in
+  B.store8 main addr 0 v2;
+  let i3 = B.binop main Add i2 (Const 1) in
+  B.store main i_addr 0 i3;
+  B.br main h;
+  B.switch_to main f;
+  (* Sum the bytes. *)
+  let acc = B.slot main 8 in
+  let acc_addr = B.slot_addr main acc in
+  B.store main acc_addr 0 (Const 0);
+  B.store main i_addr 0 (Const 0);
+  let h2 = B.new_block main and b2 = B.new_block main and f2 = B.new_block main in
+  B.br main h2;
+  B.switch_to main h2;
+  let i4 = B.load main i_addr 0 in
+  let c2 = B.cmp main Lt i4 (Const 64) in
+  B.cond_br main c2 b2 f2;
+  B.switch_to main b2;
+  let i5 = B.load main i_addr 0 in
+  let addr2 = B.binop main Add buf_addr i5 in
+  let byte = B.load8 main addr2 0 in
+  let a0 = B.load main acc_addr 0 in
+  let a1 = B.binop main Add a0 byte in
+  B.store main acc_addr 0 a1;
+  let i6 = B.binop main Add i5 (Const 1) in
+  B.store main i_addr 0 i6;
+  B.br main h2;
+  B.switch_to main f2;
+  let final = B.load main acc_addr 0 in
+  B.call_void main (Builtin "print_int") [ final ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+(* Stack unwinding through diversified frames: nested calls — one with
+   stack arguments — each reporting the backtrace builtin's frame count.
+   Differential equality with the interpreter's call depth proves the
+   unwind tables (Section 7.2.4) hold through BTRA pre/post offsets. *)
+let backtrace_prog =
+  let leaf = B.func "bt_leaf" ~nparams:8 in
+  let d = B.call leaf (Builtin "backtrace") [] in
+  let sum = B.binop leaf Add (B.param 6) (B.param 7) in
+  let r = B.binop leaf Mul d (Const 100) in
+  B.ret leaf (Some (B.binop leaf Add r sum));
+  let mid = B.func "bt_mid" ~nparams:1 in
+  let d = B.call mid (Builtin "backtrace") [] in
+  B.call_void mid (Builtin "print_int") [ d ];
+  let args = List.init 8 (fun i -> Ir.Const (i + 1)) in
+  let v = B.call mid (Direct "bt_leaf") args in
+  B.call_void mid (Builtin "print_int") [ v ];
+  let r = B.binop mid Add v (B.param 0) in
+  B.ret mid (Some r);
+  let outer = B.func "bt_outer" ~nparams:1 in
+  let v = B.call outer (Direct "bt_mid") [ B.param 0 ] in
+  B.ret outer (Some v);
+  let main = B.func "main" ~nparams:0 in
+  let d0 = B.call main (Builtin "backtrace") [] in
+  B.call_void main (Builtin "print_int") [ d0 ];
+  let v = B.call main (Direct "bt_outer") [ Const 9 ] in
+  B.call_void main (Builtin "print_int") [ v ];
+  (* Recursive depth reporting. *)
+  let deep = B.func "bt_deep" ~nparams:1 in
+  let base = B.new_block deep and rec_ = B.new_block deep in
+  let c = B.cmp deep Le (B.param 0) (Const 0) in
+  B.cond_br deep c base rec_;
+  B.switch_to deep base;
+  let d = B.call deep (Builtin "backtrace") [] in
+  B.ret deep (Some d);
+  B.switch_to deep rec_;
+  let n' = B.binop deep Sub (B.param 0) (Const 1) in
+  let r = B.call deep (Direct "bt_deep") [ n' ] in
+  B.ret deep (Some r);
+  let depth = B.call main (Direct "bt_deep") [ Const 6 ] in
+  B.call_void main (Builtin "print_int") [ depth ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main"
+    [ B.finish leaf; B.finish mid; B.finish outer; B.finish deep; B.finish main ]
+    []
+
+(* Exit-code propagation via the exit builtin, cutting main short. *)
+let exit_prog =
+  let main = B.func "main" ~nparams:0 in
+  B.call_void main (Builtin "print_int") [ Const 1 ];
+  B.call_void main (Builtin "exit") [ Const 42 ];
+  B.call_void main (Builtin "print_int") [ Const 2 ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+(* Deep register pressure: more live values than allocatable registers,
+   forcing spills. *)
+let pressure_prog =
+  let main = B.func "main" ~nparams:0 in
+  let vs = List.init 12 (fun i -> B.mov main (Const (i + 1))) in
+  (* Keep them all live to the end, then combine. *)
+  let acc =
+    List.fold_left
+      (fun acc v ->
+        let m = B.binop main Mul v (Const 3) in
+        B.binop main Add acc m)
+      (Const 0) vs
+  in
+  (* And use the originals again so intervals span the folds. *)
+  let acc2 = List.fold_left (fun a v -> B.binop main Add a v) acc vs in
+  B.call_void main (Builtin "print_int") [ acc2 ];
+  B.ret main (Some (Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+let all =
+  [
+    ("arith", arith_prog);
+    ("fib", fib_prog 12);
+    ("loop", loop_prog 100);
+    ("globals", global_prog);
+    ("stack_args", stack_args_prog);
+    ("indirect", indirect_prog);
+    ("heap", heap_prog 20);
+    ("bytes", byte_prog);
+    ("exit", exit_prog);
+    ("backtrace", backtrace_prog);
+    ("pressure", pressure_prog);
+  ]

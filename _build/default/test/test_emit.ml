@@ -1,0 +1,261 @@
+(* Golden-sequence tests for the emitter: the BTRA setups must match the
+   paper's figures instruction for instruction. *)
+
+module Opts = R2c_compiler.Opts
+module Emit = R2c_compiler.Emit
+module Asm = R2c_compiler.Asm
+module B = Builder
+open R2c_machine
+
+(* A caller with exactly one direct call. *)
+let caller_callee () =
+  let callee = B.func "callee" ~nparams:1 in
+  B.ret callee (Some (B.param 0));
+  let caller = B.func "caller" ~nparams:0 in
+  let v = B.call caller (Ir.Direct "callee") [ Ir.Const 7 ] in
+  B.ret caller (Some v);
+  (B.finish caller, B.finish callee)
+
+let bt k = (Printf.sprintf "__bt_%d" k, 0)
+
+let plan_opts ?(post_words = 1) plan =
+  {
+    Opts.default with
+    Opts.oia = true;
+    callsite_btra = (fun ~fname:_ ~site:_ ~callee:_ -> Some plan);
+    post_offset_words = (fun ~fname:_ -> post_words);
+  }
+
+let insns_of (e : Asm.emitted) = Array.to_list e.Asm.insns
+
+let pushes l =
+  List.filter_map (function Insn.Push (Imm (Sym (s, _))) -> Some s | _ -> None) l
+
+let count p l = List.length (List.filter p l)
+
+let test_push_setup_figure3 () =
+  (* 2 pre + RA + 1 post, rsp repositioning, call, pre revert. *)
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2 ];
+      post_syms = [ bt 3 ];
+      setup = Opts.Push_setup;
+      array_global = None;
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = None;
+    }
+  in
+  let e = Emit.emit_func ~opts:(plan_opts plan) caller in
+  let l = insns_of e in
+  (* The pushes appear in Figure 3's order: pre, RA, post. *)
+  Alcotest.(check (list string)) "push order"
+    [ "__bt_1"; "__bt_2"; "__ra_caller_0"; "__bt_3" ]
+    (pushes l);
+  (* Figure 3 step 2: rsp moves up by 8*(post+1) before the call. *)
+  Alcotest.(check bool) "rsp reposition" true
+    (List.exists (function Insn.Binop (Add, RSP, Imm (Abs 16)) -> true | _ -> false) l);
+  Alcotest.(check int) "one call" 1
+    (count (function Insn.Call _ -> true | _ -> false) l)
+
+let test_avx_setup_figure4 () =
+  (* 2 pre + RA + 1 post = 4 words = exactly one 32-byte batch. *)
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2 ];
+      post_syms = [ bt 3 ];
+      setup = Opts.Avx_setup;
+      array_global = Some "cs_arr";
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = None;
+    }
+  in
+  let e = Emit.emit_func ~opts:(plan_opts plan) caller in
+  let l = insns_of e in
+  Alcotest.(check int) "one vload" 1
+    (count (function Insn.Vload _ -> true | _ -> false) l);
+  Alcotest.(check int) "one vstore" 1
+    (count (function Insn.Vstore _ -> true | _ -> false) l);
+  Alcotest.(check int) "vzeroupper present" 1
+    (count (function Insn.Vzeroupper -> true | _ -> false) l);
+  Alcotest.(check int) "no BTRA pushes" 0 (List.length (pushes l));
+  (* rsp positioned above the RA slot via lea rsp, [rsp - 8*pre]. *)
+  Alcotest.(check bool) "lea reposition" true
+    (List.exists
+       (function
+         | Insn.Lea (RSP, { base = Some RSP; disp = Abs d; _ }) -> d = -16
+         | _ -> false)
+       l)
+
+let test_avx512_batches () =
+  (* 6 pre + RA + 1 post = 8 words = one 64-byte batch. *)
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2; bt 3; bt 4; bt 5; bt 6 ];
+      post_syms = [ bt 7 ];
+      setup = Opts.Avx512_setup;
+      array_global = Some "cs_arr";
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = None;
+    }
+  in
+  let e = Emit.emit_func ~opts:(plan_opts plan) caller in
+  let l = insns_of e in
+  Alcotest.(check int) "one 64-byte store" 1
+    (count (function Insn.Vstore512 _ -> true | _ -> false) l)
+
+let test_naive_setup_has_dummy_in_ra_slot () =
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2 ];
+      post_syms = [ bt 3 ];
+      setup = Opts.Push_naive;
+      array_global = None;
+      avx_pad = 0;
+      dummy_sym = Some (bt 9);
+      check_sym = None;
+    }
+  in
+  let e = Emit.emit_func ~opts:(plan_opts plan) caller in
+  Alcotest.(check (list string)) "dummy instead of RA"
+    [ "__bt_1"; "__bt_2"; "__bt_9"; "__bt_3" ]
+    (pushes (insns_of e))
+
+let test_check_sequence () =
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2 ];
+      post_syms = [ bt 3 ];
+      setup = Opts.Push_setup;
+      array_global = None;
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = Some (1, bt 1);
+    }
+  in
+  let e = Emit.emit_func ~opts:(plan_opts plan) caller in
+  let l = insns_of e in
+  (* load slot into r11, compare against the expected symbol, trap on
+     mismatch. *)
+  Alcotest.(check bool) "loads the checked slot into r11" true
+    (List.exists
+       (function
+         | Insn.Mov (Reg R11, Mem { base = Some RSP; disp = Abs 8; _ }) -> true
+         | _ -> false)
+       l);
+  Alcotest.(check bool) "compares against the BTRA value" true
+    (List.exists
+       (function Insn.Cmp (Reg R11, Imm (Sym ("__bt_1", 0))) -> true | _ -> false)
+       l);
+  Alcotest.(check bool) "trap on mismatch" true (List.mem Insn.Trap l)
+
+let test_no_check_no_trap_in_caller () =
+  let caller, _ = caller_callee () in
+  let e = Emit.emit_func ~opts:Opts.default caller in
+  Alcotest.(check bool) "plain call site has no trap" false
+    (List.mem Insn.Trap (insns_of e))
+
+let test_odd_pre_rejected () =
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1 ];
+      post_syms = [ bt 3 ];
+      setup = Opts.Push_setup;
+      array_global = None;
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = None;
+    }
+  in
+  match Emit.emit_func ~opts:(plan_opts plan) caller with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd pre count must be rejected (stack alignment)"
+
+let test_post_mismatch_rejected () =
+  let caller, _ = caller_callee () in
+  let plan =
+    {
+      Opts.pre_syms = [ bt 1; bt 2 ];
+      post_syms = [ bt 3; bt 4 ];
+      (* callee expects 1 *)
+      setup = Opts.Push_setup;
+      array_global = None;
+      avx_pad = 0;
+      dummy_sym = None;
+      check_sym = None;
+    }
+  in
+  match Emit.emit_func ~opts:(plan_opts ~post_words:1 plan) caller with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "post count must match the callee's post offset"
+
+let test_prolog_traps_jumped_over () =
+  let caller, _ = caller_callee () in
+  let opts = { Opts.default with Opts.prolog_traps = (fun ~fname:_ -> 3) } in
+  let e = Emit.emit_func ~opts caller in
+  let l = insns_of e in
+  (* Entry is a jump, followed by the traps. *)
+  (match l with
+  | Insn.Jmp _ :: Insn.Trap :: Insn.Trap :: Insn.Trap :: _ -> ()
+  | _ -> Alcotest.fail "prolog traps must follow an entry jump");
+  Alcotest.(check int) "three traps" 3 (count (fun i -> i = Insn.Trap) l)
+
+let test_frame_alignment_invariant () =
+  (* For every function and post-offset choice: frame + 8*post = 8 mod 16,
+     so call sites sit at 16-byte-aligned rsp. *)
+  List.iter
+    (fun post_words ->
+      let opts =
+        { Opts.default with Opts.post_offset_words = (fun ~fname:_ -> post_words) }
+      in
+      List.iter
+        (fun (_, (p : Ir.program)) ->
+          List.iter
+            (fun f ->
+              let e = Emit.emit_func ~opts f in
+              (* Recover the frame size from the first sub rsp, N after the
+                 optional post-offset sub. *)
+              let subs =
+                List.filter_map
+                  (function Insn.Binop (Sub, RSP, Imm (Abs n)) -> Some n | _ -> None)
+                  (insns_of e)
+              in
+              match subs with
+              | [] -> ()
+              | first :: rest ->
+                  let frame = if post_words > 0 then List.nth_opt rest 0 else Some first in
+                  (match frame with
+                  | Some fr ->
+                      Alcotest.(check int)
+                        (Printf.sprintf "%s post=%d frame=%d" f.Ir.name post_words fr)
+                        8
+                        ((fr + (8 * post_words)) land 15)
+                  | None -> ()))
+            p.funcs)
+        [ ("fib", Samples.fib_prog 3); ("stack", Samples.stack_args_prog) ])
+    [ 0; 1; 2; 3; 4 ]
+
+let suite =
+  [
+    ( "emit",
+      [
+        Alcotest.test_case "push setup (Figure 3)" `Quick test_push_setup_figure3;
+        Alcotest.test_case "avx setup (Figure 4)" `Quick test_avx_setup_figure4;
+        Alcotest.test_case "avx512 batches" `Quick test_avx512_batches;
+        Alcotest.test_case "naive dummy slot" `Quick test_naive_setup_has_dummy_in_ra_slot;
+        Alcotest.test_case "check sequence" `Quick test_check_sequence;
+        Alcotest.test_case "no spurious traps" `Quick test_no_check_no_trap_in_caller;
+        Alcotest.test_case "odd pre rejected" `Quick test_odd_pre_rejected;
+        Alcotest.test_case "post mismatch rejected" `Quick test_post_mismatch_rejected;
+        Alcotest.test_case "prolog traps jumped" `Quick test_prolog_traps_jumped_over;
+        Alcotest.test_case "frame alignment invariant" `Quick test_frame_alignment_invariant;
+      ] );
+  ]

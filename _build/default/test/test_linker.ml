@@ -1,0 +1,110 @@
+(* Linker-level error handling and layout invariants. *)
+
+module Opts = R2c_compiler.Opts
+module Link = R2c_compiler.Link
+module Asm = R2c_compiler.Asm
+module B = Builder
+open R2c_machine
+
+let raw name insns = Asm.of_raw { Opts.rname = name; rinsns = insns; rbooby_trap = false }
+
+let test_duplicate_function_rejected () =
+  match
+    Link.link ~opts:Opts.default ~main:"main"
+      [ raw "main" [ Insn.Ret ]; raw "main" [ Insn.Ret ] ]
+      []
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate function must be rejected"
+
+let test_duplicate_global_function_clash () =
+  let p =
+    B.program ~main:"main"
+      [
+        (let fb = B.func "main" ~nparams:0 in
+         B.ret fb (Some (Ir.Const 0));
+         B.finish fb);
+      ]
+      [ { Ir.gname = "main"; gsize = 8; ginit = [] } ]
+  in
+  Alcotest.(check bool) "validator flags shadowing" true (Validate.check p <> [])
+
+let test_undefined_symbol_rejected () =
+  match
+    Link.link ~opts:Opts.default ~main:"main"
+      [ raw "main" [ Insn.Jmp (Insn.TSym ("nowhere", 0)); Insn.Ret ] ]
+      []
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undefined symbol must be rejected"
+
+let test_func_order_must_be_permutation () =
+  let opts = { Opts.default with Opts.func_order = (fun _ -> [ "main"; "ghost" ]) } in
+  match Link.link ~opts ~main:"main" [ raw "main" [ Insn.Ret ]; raw "g" [ Insn.Ret ] ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "func_order inventing names must be rejected"
+
+let test_data_overflow_rejected () =
+  (* A single global bigger than the data window. *)
+  let huge = { Ir.gname = "huge"; gsize = 0x2000_0000_0000; ginit = [] } in
+  match Link.link ~opts:Opts.default ~main:"main" [ raw "main" [ Insn.Ret ] ] [ huge ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "data overflow must be rejected"
+
+let test_builtins_have_fixed_plt_slots () =
+  let img = Link.link ~opts:Opts.default ~main:"main" [ raw "main" [ Insn.Ret ] ] [] in
+  List.iteri
+    (fun i name ->
+      Alcotest.(check int) (name ^ " slot")
+        (img.Image.text_base + (16 * i))
+        (Image.symbol img name))
+    Image.builtin_names
+
+let test_entry_is_start () =
+  let img = Link.link ~opts:Opts.default ~main:"main" [ raw "main" [ Insn.Ret ] ] [] in
+  Alcotest.(check int) "entry = _start" (Image.symbol img "_start") img.Image.entry
+
+let test_constructors_run_before_main () =
+  (* _start calls the constructor, then main; the ctor's print precedes
+     main's. *)
+  let ctor = B.func "ctor" ~nparams:0 in
+  B.call_void ctor (Ir.Builtin "print_int") [ Ir.Const 1 ];
+  B.ret ctor None;
+  let main = B.func "main" ~nparams:0 in
+  B.call_void main (Ir.Builtin "print_int") [ Ir.Const 2 ];
+  B.ret main (Some (Ir.Const 0));
+  let p = B.program ~main:"main" [ B.finish ctor; B.finish main ] [] in
+  let opts = { Opts.default with Opts.constructors = [ "ctor" ] } in
+  let img = R2c_compiler.Driver.compile ~opts p in
+  let proc = Process.start img in
+  (match Process.run proc with
+  | Process.Exited 0 -> ()
+  | o -> Alcotest.failf "%s" (Process.outcome_to_string o));
+  Alcotest.(check string) "ctor first" "1\n2\n" (Process.output proc)
+
+let test_global_padding_separates () =
+  (* Padding requested between globals must appear in the layout. *)
+  let g1 = { Ir.gname = "g1"; gsize = 8; ginit = [] } in
+  let g2 = { Ir.gname = "g2"; gsize = 8; ginit = [] } in
+  let opts =
+    { Opts.default with Opts.global_order = (fun gs -> List.map (fun g -> (g, 128)) gs) }
+  in
+  let img = Link.link ~opts ~main:"main" [ raw "main" [ Insn.Ret ] ] [ g1; g2 ] in
+  let a1 = Image.symbol img "g1" and a2 = Image.symbol img "g2" in
+  Alcotest.(check bool) "padding honoured" true (abs (a2 - a1) >= 128)
+
+let suite =
+  [
+    ( "linker",
+      [
+        Alcotest.test_case "duplicate function" `Quick test_duplicate_function_rejected;
+        Alcotest.test_case "global shadows function" `Quick test_duplicate_global_function_clash;
+        Alcotest.test_case "undefined symbol" `Quick test_undefined_symbol_rejected;
+        Alcotest.test_case "func_order permutation" `Quick test_func_order_must_be_permutation;
+        Alcotest.test_case "data overflow" `Quick test_data_overflow_rejected;
+        Alcotest.test_case "plt slots fixed" `Quick test_builtins_have_fixed_plt_slots;
+        Alcotest.test_case "entry is _start" `Quick test_entry_is_start;
+        Alcotest.test_case "constructors first" `Quick test_constructors_run_before_main;
+        Alcotest.test_case "global padding" `Quick test_global_padding_separates;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+open R2c_machine
+
+let check_fault name expected f =
+  match f () with
+  | exception Fault.Fault fault ->
+      Alcotest.(check string) name expected (Fault.to_string fault)
+  | _ -> Alcotest.failf "%s: expected a fault" name
+
+let test_map_rw () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 8192 Perm.rw;
+  Mem.write_u64 m 0x10008 0xdeadbeef;
+  Alcotest.(check int) "round trip" 0xdeadbeef (Mem.read_u64 m 0x10008)
+
+let test_zero_fill () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Alcotest.(check int) "zeroed" 0 (Mem.read_u64 m 0x10000)
+
+let test_unmapped_read_faults () =
+  let m = Mem.create () in
+  check_fault "segv" "SIGSEGV: read at 0x666000" (fun () -> Mem.read_u64 m 0x666000)
+
+let test_write_to_readonly_faults () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.ro;
+  check_fault "segv" "SIGSEGV: write at 0x10000" (fun () -> Mem.write_u64 m 0x10000 1)
+
+let test_execute_only_blocks_read () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.write_u64 m 0x10000 42;
+  Mem.protect m 0x10000 4096 Perm.xo;
+  check_fault "xom read" "SIGSEGV: read at 0x10000" (fun () -> Mem.read_u64 m 0x10000);
+  check_fault "xom write" "SIGSEGV: write at 0x10000" (fun () -> Mem.write_u64 m 0x10000 1)
+
+let test_guard_page_fault_is_detection () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.protect m 0x10000 4096 Perm.none;
+  Mem.tag_guard m 0x10000 4096;
+  (match Mem.read_u64 m 0x10040 with
+  | exception Fault.Fault f ->
+      Alcotest.(check bool) "is detection" true (Fault.is_detection f)
+  | _ -> Alcotest.fail "expected fault");
+  (* A plain segv is not a detection. *)
+  match Mem.read_u64 m 0x999000 with
+  | exception Fault.Fault f ->
+      Alcotest.(check bool) "not detection" false (Fault.is_detection f)
+  | _ -> Alcotest.fail "expected fault"
+
+let test_cross_page_word () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 8192 Perm.rw;
+  let addr = 0x10000 + 4092 in
+  Mem.write_u64 m addr 0x1122334455667788;
+  Alcotest.(check int) "cross page" 0x1122334455667788 (Mem.read_u64 m addr)
+
+let test_byte_access () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.write_u8 m 0x10003 0xab;
+  Alcotest.(check int) "byte" 0xab (Mem.read_u8 m 0x10003);
+  (* Little-endian composition. *)
+  Alcotest.(check int) "le word" (0xab lsl 24) (Mem.read_u64 m 0x10000)
+
+let test_bytes_roundtrip () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.write_bytes m 0x10010 (Bytes.of_string "hello world");
+  Alcotest.(check string) "bytes" "hello world"
+    (Bytes.to_string (Mem.read_bytes m 0x10010 11))
+
+let test_peek_ignores_perms () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.write_u64 m 0x10000 7;
+  Mem.protect m 0x10000 4096 Perm.none;
+  Alcotest.(check (option int)) "peek" (Some 7) (Mem.peek_u64 m 0x10000);
+  Alcotest.(check (option int)) "peek unmapped" None (Mem.peek_u64 m 0x999000)
+
+let test_unmap () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Alcotest.(check bool) "mapped" true (Mem.is_mapped m 0x10000);
+  Mem.unmap m 0x10000 4096;
+  Alcotest.(check bool) "unmapped" false (Mem.is_mapped m 0x10000)
+
+let test_double_map_rejected () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Alcotest.check_raises "double map"
+    (Invalid_argument "Mem.map: page 0x10000 already mapped") (fun () ->
+      Mem.map m 0x10000 4096 Perm.rw)
+
+let test_maxrss_tracking () =
+  let m = Mem.create () in
+  Mem.map m 0x10000 (16 * 4096) Perm.rw;
+  Mem.unmap m 0x10000 (16 * 4096);
+  Alcotest.(check int) "resident now" 0 (Mem.mapped_pages m);
+  Alcotest.(check int) "high water" 16 (Mem.max_mapped_pages m)
+
+let test_addr_regions () =
+  Alcotest.(check string) "text" "text" (Addr.region_to_string (Addr.region_of 0x40055d));
+  Alcotest.(check string) "data" "data"
+    (Addr.region_to_string (Addr.region_of 0x5555_5555_7260));
+  Alcotest.(check string) "heap" "heap"
+    (Addr.region_to_string (Addr.region_of 0x5555_6000_1000));
+  Alcotest.(check string) "stack" "stack"
+    (Addr.region_to_string (Addr.region_of 0x7fff_ffff_e3d0));
+  Alcotest.(check string) "unmapped" "unmapped" (Addr.region_to_string (Addr.region_of 0x10))
+
+let suite =
+  [
+    ( "mem",
+      [
+        Alcotest.test_case "map + rw" `Quick test_map_rw;
+        Alcotest.test_case "zero fill" `Quick test_zero_fill;
+        Alcotest.test_case "unmapped read faults" `Quick test_unmapped_read_faults;
+        Alcotest.test_case "readonly write faults" `Quick test_write_to_readonly_faults;
+        Alcotest.test_case "execute-only blocks read" `Quick test_execute_only_blocks_read;
+        Alcotest.test_case "guard page detection" `Quick test_guard_page_fault_is_detection;
+        Alcotest.test_case "cross-page word" `Quick test_cross_page_word;
+        Alcotest.test_case "byte access" `Quick test_byte_access;
+        Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+        Alcotest.test_case "peek ignores perms" `Quick test_peek_ignores_perms;
+        Alcotest.test_case "unmap" `Quick test_unmap;
+        Alcotest.test_case "double map rejected" `Quick test_double_map_rejected;
+        Alcotest.test_case "maxrss tracking" `Quick test_maxrss_tracking;
+        Alcotest.test_case "address regions" `Quick test_addr_regions;
+      ] );
+  ]

@@ -1,0 +1,80 @@
+(* The table renderer and remaining util coverage. *)
+
+module Table = R2c_util.Table
+module Stats = R2c_util.Stats
+open R2c_machine
+
+let test_render_alignment () =
+  let out =
+    Table.render
+      ~headers:[ "name"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ]
+      [ [ "a"; "1" ]; [ "long-name"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + separator + rows" 4 (List.length lines);
+  (* All lines are equally wide. *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  (* Right-aligned numbers end the line. *)
+  Alcotest.(check bool) "right aligned" true
+    (String.length (List.nth lines 2) > 0
+    && (List.nth lines 2).[String.length (List.nth lines 2) - 1] = '1')
+
+let test_render_short_rows_padded () =
+  let out = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_pct_ratio () =
+  Alcotest.(check string) "pct" "6.6%" (Table.pct 0.066);
+  Alcotest.(check string) "negative pct" "-0.2%" (Table.pct (-0.002));
+  Alcotest.(check string) "ratio" "1.06" (Table.ratio 1.06)
+
+let test_pearson () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0
+    (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 2.0; 4.0; 6.0 ]);
+  Alcotest.(check (float 1e-9)) "perfect negative" (-1.0)
+    (Stats.pearson [ 1.0; 2.0; 3.0 ] [ 3.0; 2.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "degenerate" 0.0
+    (Stats.pearson [ 1.0; 1.0; 1.0 ] [ 3.0; 2.0; 1.0 ])
+
+(* --- unwind edge cases --- *)
+
+let test_unwind_empty_tables () =
+  (* A raw-only image has no unwind rows: the walk stops immediately. *)
+  let img =
+    R2c_compiler.Link.link ~opts:R2c_compiler.Opts.default ~main:"main"
+      [ R2c_compiler.Asm.of_raw
+          { R2c_compiler.Opts.rname = "main"; rinsns = [ Insn.Ret ]; rbooby_trap = false } ]
+      []
+  in
+  let mem = Mem.create () in
+  Mem.map mem 0x7fff_0000_0000 4096 Perm.rw;
+  Alcotest.(check (list int)) "no frames" []
+    (Unwind.backtrace mem img ~ra_slot:0x7fff_0000_0100)
+
+let test_unwind_corrupted_chain_terminates () =
+  (* Garbage on the stack must terminate the walk, not loop. *)
+  let img = R2c_compiler.Driver.compile (Samples.fib_prog 3) in
+  let mem = Mem.create () in
+  Mem.map mem 0x7fff_0000_0000 65536 Perm.rw;
+  (* Fill with a self-referencing pattern. *)
+  for i = 0 to 8000 do
+    Mem.write_u64 mem (0x7fff_0000_0000 + (8 * i)) 0x7fff_0000_0000
+  done;
+  let frames = Unwind.backtrace mem img ~ra_slot:0x7fff_0000_0400 in
+  Alcotest.(check (list int)) "terminates empty" [] frames
+
+let suite =
+  [
+    ( "util-extra",
+      [
+        Alcotest.test_case "table alignment" `Quick test_render_alignment;
+        Alcotest.test_case "table short rows" `Quick test_render_short_rows_padded;
+        Alcotest.test_case "pct/ratio" `Quick test_pct_ratio;
+        Alcotest.test_case "pearson" `Quick test_pearson;
+        Alcotest.test_case "unwind empty tables" `Quick test_unwind_empty_tables;
+        Alcotest.test_case "unwind corrupted chain" `Quick test_unwind_corrupted_chain_terminates;
+      ] );
+  ]

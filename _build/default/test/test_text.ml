@@ -1,0 +1,132 @@
+(* Textual IR: round trips and parse errors. *)
+
+let roundtrip name (p : Ir.program) =
+  let printed = Text.to_string p in
+  match Text.parse printed with
+  | Error e -> Alcotest.failf "%s: %s\n%s" name (Text.error_to_string e) printed
+  | Ok q ->
+      (* Structural equality via the canonical printer. *)
+      Alcotest.(check string) (name ^ " round trip") printed (Text.to_string q);
+      (* And behavioural equality. *)
+      let out prog =
+        match Interp.run ~fuel:50_000_000 prog with
+        | Ok r -> (r.Interp.output, r.Interp.exit_code)
+        | Error e -> Alcotest.failf "%s interp: %s" name (Interp.error_to_string e)
+      in
+      if Ir.find_func p p.main <> None then
+        Alcotest.(check (pair string int)) (name ^ " behaviour") (out p) (out q)
+
+let test_roundtrip_samples () =
+  List.iter (fun (name, p) -> roundtrip name p) Samples.all
+
+let test_roundtrip_spec () =
+  List.iter
+    (fun (b : R2c_workloads.Spec.benchmark) -> roundtrip b.name b.program)
+    (R2c_workloads.Spec.all ())
+
+let test_roundtrip_generated () =
+  List.iter
+    (fun seed -> roundtrip (Printf.sprintf "gen%d" seed)
+        (R2c_workloads.Genprog.generate ~seed ~funcs:25))
+    [ 1; 2; 3 ]
+
+let test_roundtrip_vulnapp () = roundtrip "vulnapp" (R2c_workloads.Vulnapp.program ())
+
+let test_parse_minimal () =
+  let src = {|
+global counter : 8 = word 41
+
+func main() {
+L0:
+  v0 = load [@counter + 0]
+  v1 = add v0, 1
+  call !print_int(v1)
+  ret 0
+}
+|} in
+  match Text.parse src with
+  | Error e -> Alcotest.failf "parse: %s" (Text.error_to_string e)
+  | Ok p -> (
+      Alcotest.(check (list string)) "validates" []
+        (List.map Validate.error_to_string (Validate.check p));
+      match Interp.run p with
+      | Ok r -> Alcotest.(check string) "output" "42\n" r.Interp.output
+      | Error e -> Alcotest.failf "interp: %s" (Interp.error_to_string e))
+
+let test_parse_compiles_and_runs () =
+  let src = {|
+func helper(v0, v1) {
+L0:
+  v2 = mul v0, v1
+  ret v2
+}
+
+func main() {
+  slots 8
+L0:
+  v0 = call helper(6, 7)
+  v1 = slot 0
+  store [v1 + 0], v0
+  v2 = load [v1 + 0]
+  call !print_int(v2)
+  ret 0
+}
+|} in
+  match Text.parse src with
+  | Error e -> Alcotest.failf "parse: %s" (Text.error_to_string e)
+  | Ok p -> (
+      let img = R2c_core.Pipeline.compile ~seed:3 (R2c_core.Dconfig.full ()) p in
+      let proc = R2c_machine.Process.start ~strict_align:true img in
+      match R2c_machine.Process.run proc with
+      | R2c_machine.Process.Exited 0 ->
+          Alcotest.(check string) "output" "42\n" (R2c_machine.Process.output proc)
+      | o -> Alcotest.failf "run: %s" (R2c_machine.Process.outcome_to_string o))
+
+let expect_error src fragment =
+  match Text.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+  | Error e ->
+      let msg = Text.error_to_string e in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in %S" fragment msg)
+        true (contains msg fragment)
+
+let test_parse_errors () =
+  expect_error "bogus line" "expected 'global' or 'func'";
+  expect_error "func f() {\nL0:\n  ret\n" "unterminated function";
+  expect_error "func f() {\n  v0 = add 1, 2\n}" "instruction outside a block";
+  expect_error "func f() {\nL0:\n  v0 = frob 1, 2\n  ret\n}" "unknown operation";
+  expect_error "func f() {\nL0:\n  v0 = cmp.zz 1, 2\n  ret\n}" "unknown comparison";
+  expect_error "global g : 8 = str \"unterminated" "unterminated string"
+
+let test_string_escapes () =
+  let p =
+    Builder.program ~main:"main"
+      [
+        (let fb = Builder.func "main" ~nparams:0 in
+         Builder.ret fb (Some (Ir.Const 0));
+         Builder.finish fb);
+      ]
+      [ { Ir.gname = "s"; gsize = 16; ginit = [ Ir.Str "a\"b\\c\000\xff tail" ] } ]
+  in
+  roundtrip "escapes" p
+
+let suite =
+  [
+    ( "text",
+      [
+        Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_samples;
+        Alcotest.test_case "roundtrip spec suite" `Quick test_roundtrip_spec;
+        Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
+        Alcotest.test_case "roundtrip vulnapp" `Quick test_roundtrip_vulnapp;
+        Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+        Alcotest.test_case "parse + compile + run" `Quick test_parse_compiles_and_runs;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "string escapes" `Quick test_string_escapes;
+      ] );
+  ]
