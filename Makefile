@@ -1,0 +1,22 @@
+# Convenience targets around dune. `make check` is the tier-1 gate CI runs.
+
+.PHONY: all build test check clean examples bench
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+examples:
+	dune build examples
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -97,6 +97,34 @@ let ablation_cmd =
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablation sweeps.") Term.(const run $ const ())
 
+let chaos_cmd =
+  let legit =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests" ] ~docv:"N" ~doc:"Legitimate requests per policy run.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 4000
+      & info [ "probe-budget" ] ~docv:"N" ~doc:"Attacker probe budget per campaign.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Pool master seed.")
+  in
+  let run seed legit budget =
+    let attack = { R2c_harness.Chaos.default_attack with probe_budget = budget } in
+    R2c_harness.Chaos.(print (run ~seed ~legit_total:legit ~attack ()));
+    R2c_harness.Chaos.(print_sweep (injection_sweep ()));
+    R2c_harness.Chaos.(print_equivalence (baseline_equivalence ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Availability under fault injection and a Blind-ROP campaign, per restart \
+          policy.")
+    Term.(const run $ seed $ legit $ budget)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -119,5 +147,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
-            security_cmd; scale_cmd; ablation_cmd; all_cmd;
+            security_cmd; scale_cmd; ablation_cmd; chaos_cmd; all_cmd;
           ]))

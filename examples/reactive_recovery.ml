@@ -1,0 +1,56 @@
+(* Reactive recovery, end to end: the same Blind-ROP campaign is thrown at
+   a worker pool under three restart policies, and the supervisor's
+   recovery story decides how it ends.
+
+   - same-image: every respawn reuses the parent's layout (the
+     nginx/Apache model Blind ROP was built for). The attacker reads the
+     stack byte by byte, finds the return address, sweeps gadgets, and
+     walks away with a sensitive(marker) call — while availability bleeds.
+   - rerandomize: every crash buys a fresh layout. Learned bytes rot, the
+     attacker's revalidation probes start dying, and the campaign aborts.
+   - reactive->rerandomize: cheap same-image respawns until booby-trap
+     detections cross the threshold, then one fleet-wide re-randomization.
+     The paper's reactive camouflage as a supervisor policy.
+
+     dune exec examples/reactive_recovery.exe *)
+
+module Chaos = R2c_harness.Chaos
+module Policy = R2c_runtime.Policy
+module Pool = R2c_runtime.Pool
+
+let describe (r : Chaos.run_result) =
+  let s = r.Chaos.stats in
+  Printf.printf "=== %s ===\n" (Policy.to_string r.Chaos.policy);
+  Printf.printf "  legit availability   %5.1f%%  (%d/%d served)\n"
+    (100. *. r.Chaos.availability)
+    r.Chaos.legit_served r.Chaos.legit_total;
+  Printf.printf "  worker crashes       %d (%d flagged as detections)\n" s.Pool.crashes
+    s.Pool.detections;
+  Printf.printf "  restarts             %d (%d with a fresh layout)\n" s.Pool.restarts
+    s.Pool.rerandomizations;
+  (match Pool.mttr s with
+  | Some m -> Printf.printf "  MTTR                 %.0f cycles\n" m
+  | None -> ());
+  (match Pool.detection_to_response s with
+  | Some d -> Printf.printf "  detection->response  %d cycles\n" d
+  | None -> ());
+  if r.Chaos.escalated then
+    Printf.printf "  ESCALATED: monitoring crossed the detection threshold\n";
+  Printf.printf "  attacker: %d probes, %s\n"
+    r.Chaos.probes
+    (if r.Chaos.compromised then "COMPROMISED (sensitive(marker) executed)"
+     else "gave up — " ^ r.Chaos.attack_note);
+  print_newline ()
+
+let () =
+  let seed = 11 and legit_total = 600 in
+  Printf.printf
+    "Blind-ROP campaign vs a 3-worker pool (seed %d, %d legit requests)\n\n" seed
+    legit_total;
+  List.iter
+    (fun p -> describe (Chaos.run_policy ~seed ~legit_total p))
+    [
+      Policy.Same_image;
+      Policy.Rerandomize;
+      Policy.Reactive Policy.Escalate_rerandomize;
+    ]

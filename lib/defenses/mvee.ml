@@ -4,17 +4,25 @@ type verdict =
   | Consistent of Process.outcome
   | Divergence of { variant : int; detail : string }
 
+type lockstep = { verdict : verdict; cycles : float }
+
 type observation = {
   outcome : Process.outcome;
   output : string;
   sensitive : (int * int) list;
+  cycles : float;
 }
 
 let observe img inputs =
   let p = Process.start img in
   List.iter (Cpu.push_input p.Process.cpu) inputs;
   let outcome = Process.run p in
-  { outcome; output = Process.output p; sensitive = Process.sensitive_log p }
+  {
+    outcome;
+    output = Process.output p;
+    sensitive = Process.sensitive_log p;
+    cycles = Process.cycles p;
+  }
 
 (* Outcomes compare structurally except crash *addresses*, which differ
    across variants by construction: only the fault kind is monitored. *)
@@ -28,18 +36,21 @@ let outcome_kind = function
       | Fault.Misaligned_stack _ -> "misaligned"
       | Fault.Invalid_opcode _ -> "sigill"
       | Fault.Division_by_zero _ -> "sigfpe"
-      | Fault.Cfi_violation _ -> "cfi")
+      | Fault.Cfi_violation _ -> "cfi"
+      | Fault.Injected _ -> "injected")
   | Process.Timeout -> "timeout"
 
-let run ~build ~seeds ~inputs =
-  match seeds with
-  | [] -> invalid_arg "Mvee.run: no variants"
+let run_images ~images ~inputs =
+  match images with
+  | [] -> invalid_arg "Mvee.run_images: no variants"
   | first :: rest ->
-      let reference = observe (build ~seed:first) inputs in
+      let reference = observe first inputs in
+      let cycles = ref reference.cycles in
       let rec check i = function
         | [] -> Consistent reference.outcome
-        | seed :: tl ->
-            let v = observe (build ~seed) inputs in
+        | img :: tl ->
+            let v = observe img inputs in
+            cycles := !cycles +. v.cycles;
             if outcome_kind v.outcome <> outcome_kind reference.outcome then
               Divergence
                 {
@@ -54,7 +65,11 @@ let run ~build ~seeds ~inputs =
               Divergence { variant = i; detail = "privileged-call log differs" }
             else check (i + 1) tl
       in
-      check 1 rest
+      let verdict = check 1 rest in
+      { verdict; cycles = !cycles }
+
+let run ~build ~seeds ~inputs =
+  (run_images ~images:(List.map (fun seed -> build ~seed) seeds) ~inputs).verdict
 
 let verdict_to_string = function
   | Consistent o -> "consistent (" ^ Process.outcome_to_string o ^ ")"

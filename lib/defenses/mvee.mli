@@ -17,6 +17,18 @@ type verdict =
   | Divergence of { variant : int; detail : string }
       (** variant [variant] (0-based) differs from variant 0 *)
 
+(** A lockstep execution: the verdict plus the total cycles burned across
+    all variants — what the supervision layer charges a request served
+    under MVEE escalation. *)
+type lockstep = { verdict : verdict; cycles : float }
+
+(** [run_images ~images ~inputs] — lockstep over prebuilt variant images;
+    the reactive-escalation entry point (variants are built once when the
+    supervisor escalates, then reused per request). Stops at the first
+    divergence. *)
+val run_images :
+  images:R2c_machine.Image.t list -> inputs:string list -> lockstep
+
 (** [run ~build ~seeds ~inputs] — [build seed] produces one variant's
     image. *)
 val run :

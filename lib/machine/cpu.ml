@@ -19,9 +19,10 @@ type t = {
   mutable sensitive_log : (int * int) list;
   mutable strict_align : bool;
   shadow : int list ref;  (* shadow stack of return addresses (CFI) *)
+  inject : Inject.t option;  (* chaos fault injector, if attached *)
 }
 
-let create ?(strict_align = false) ~profile ~mem ~heap image ~rip ~rsp =
+let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
   let t =
     {
       mem;
@@ -45,6 +46,7 @@ let create ?(strict_align = false) ~profile ~mem ~heap image ~rip ~rsp =
       sensitive_log = [];
       strict_align;
       shadow = ref [];
+      inject;
     }
   in
   t.regs.(Insn.reg_index RSP) <- rsp;
@@ -66,15 +68,22 @@ let eval_mem t (m : Insn.mem_operand) =
   in
   base + index + eval_imm m.disp
 
+(* Data loads thread through the injector (when attached): a fraction of
+   them return a corrupted value. Control-flow reads (ret, pop of return
+   addresses via the shadow stack, builtin dispatch) are left alone so the
+   CFI semantics stay honest. *)
+let injected_load t v =
+  match t.inject with Some inj -> Inject.on_load inj v | None -> v
+
 let eval_op t = function
   | Insn.Imm i -> eval_imm i
   | Insn.Reg r -> reg_get t r
-  | Insn.Mem m -> Mem.read_u64 t.mem (eval_mem t m)
+  | Insn.Mem m -> injected_load t (Mem.read_u64 t.mem (eval_mem t m))
 
 let eval_op8 t = function
   | Insn.Imm i -> eval_imm i land 0xff
   | Insn.Reg r -> reg_get t r land 0xff
-  | Insn.Mem m -> Mem.read_u8 t.mem (eval_mem t m)
+  | Insn.Mem m -> injected_load t (Mem.read_u8 t.mem (eval_mem t m)) land 0xff
 
 let store_op t op v =
   match op with
@@ -239,6 +248,9 @@ let step_builtin t name =
 
 let step t =
   if t.halted then invalid_arg "Cpu.step: halted";
+  (match t.inject with
+  | Some inj -> Inject.on_step inj ~mem:t.mem ~rip:t.rip
+  | None -> ());
   let rip = t.rip in
   (match Mem.perm_at t.mem rip with
   | Some p when p.Perm.exec -> ()

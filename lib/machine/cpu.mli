@@ -39,12 +39,16 @@ type t = {
   shadow : int list ref;
       (** the backward-edge-CFI shadow stack, active when the image was
           deployed with [shadow_stack] (Section 8.2) *)
+  inject : Inject.t option;
+      (** chaos fault injector; [None] (the default) leaves execution
+          untouched *)
 }
 
-(** [create ?strict_align ~profile ~mem ~heap image ~rip ~rsp] — registers
-    zeroed except RSP. *)
+(** [create ?strict_align ?inject ~profile ~mem ~heap image ~rip ~rsp] —
+    registers zeroed except RSP. *)
 val create :
   ?strict_align:bool ->
+  ?inject:Inject.t ->
   profile:Cost.profile -> mem:Mem.t -> heap:Heap.t -> Image.t -> rip:int -> rsp:int -> t
 
 val reg_get : t -> Insn.reg -> int

@@ -8,6 +8,7 @@ type t =
   | Invalid_opcode of { addr : int }
   | Division_by_zero of { rip : int }
   | Cfi_violation of { rip : int; expected : int; got : int }
+  | Injected of { rip : int; kind : string }
 
 exception Fault of t
 
@@ -29,9 +30,11 @@ let to_string = function
   | Cfi_violation { rip; expected; got } ->
       Printf.sprintf "CFI: shadow-stack mismatch at rip=0x%x (expected 0x%x, got 0x%x)" rip
         expected got
+  | Injected { rip; kind } -> Printf.sprintf "injected %s at rip=0x%x" kind rip
 
 let is_detection = function
   | Guard_page _ | Booby_trap _ | Cfi_violation _ -> true
-  | Segv _ | Misaligned_stack _ | Invalid_opcode _ | Division_by_zero _ -> false
+  | Segv _ | Misaligned_stack _ | Invalid_opcode _ | Division_by_zero _ | Injected _ ->
+      false
 
 let raise_fault t = raise (Fault t)

@@ -25,6 +25,11 @@ type t =
   | Cfi_violation of { rip : int; expected : int; got : int }
       (** A shadow-stack mismatch on return (the enforcement-based
           comparison point of Section 8.2). *)
+  | Injected of { rip : int; kind : string }
+      (** A fault synthesized by the chaos injector ({!Inject}); behaves
+          like an ordinary crash — monitoring cannot tell it from organic
+          failure, which is the point of availability testing under
+          chaos. *)
 
 exception Fault of t
 

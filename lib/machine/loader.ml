@@ -6,7 +6,7 @@ let materialize_text mem (img : Image.t) =
       done)
     img.Image.code_list
 
-let load ?(strict_align = false) ~profile (img : Image.t) =
+let load ?(strict_align = false) ?inject ~profile (img : Image.t) =
   let mem = Mem.create () in
   (* Text: filled while writable, then sealed. *)
   let text_len = Addr.align_up (max img.Image.text_len Addr.page_size) ~align:Addr.page_size in
@@ -26,4 +26,4 @@ let load ?(strict_align = false) ~profile (img : Image.t) =
   let rsp = Addr.stack_top - 64 in
   assert (rsp land 15 = 0);
   let heap = Heap.create mem ~base:img.Image.heap_base in
-  Cpu.create ~strict_align ~profile ~mem ~heap img ~rip:img.Image.entry ~rsp
+  Cpu.create ~strict_align ?inject ~profile ~mem ~heap img ~rip:img.Image.entry ~rsp

@@ -7,4 +7,4 @@
     read-write with its initialisers applied; the stack is mapped at the
     canonical top of user space. *)
 
-val load : ?strict_align:bool -> profile:Cost.profile -> Image.t -> Cpu.t
+val load : ?strict_align:bool -> ?inject:Inject.t -> profile:Cost.profile -> Image.t -> Cpu.t

@@ -169,6 +169,20 @@ let poke_u64 t addr v =
           | None -> invalid_arg "Mem.poke_u64: crosses unmapped page"
         done
 
+let writable_page_addrs t =
+  Hashtbl.fold
+    (fun idx p acc -> if p.perm.Perm.write then (idx lsl Addr.page_shift) :: acc else acc)
+    t.pages []
+  |> List.sort compare
+
+let flip_bit t ~addr ~bit =
+  match find_page t (Addr.page_of addr) with
+  | None -> invalid_arg (Printf.sprintf "Mem.flip_bit: 0x%x unmapped" addr)
+  | Some p ->
+      let off = Addr.page_offset addr in
+      let c = Char.code (Bytes.unsafe_get p.data off) in
+      Bytes.unsafe_set p.data off (Char.unsafe_chr (c lxor (1 lsl (bit land 7))))
+
 let guard_page_addrs t =
   Hashtbl.fold
     (fun idx p acc -> if p.guard then (idx lsl Addr.page_shift) :: acc else acc)

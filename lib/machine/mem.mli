@@ -51,6 +51,15 @@ val peek_u64 : t -> int -> int option
 val peek_u8 : t -> int -> int option
 val poke_u64 : t -> int -> int -> unit
 
+(** [writable_page_addrs t] — base addresses of writable mapped pages
+    (heap, stack, data), sorted; the chaos injector's bit-flip target
+    population. *)
+val writable_page_addrs : t -> int list
+
+(** [flip_bit t ~addr ~bit] — permission-free xor of bit [bit land 7] of
+    the byte at [addr]; the {!Inject} bit-flip primitive. *)
+val flip_bit : t -> addr:int -> bit:int -> unit
+
 (** [guard_page_addrs t] — base addresses of pages tagged as guards;
     defender-side ground truth for tests and reports. *)
 val guard_page_addrs : t -> int list

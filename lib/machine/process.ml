@@ -5,19 +5,24 @@ type t = {
   profile : Cost.profile;
   fuel : int;
   strict_align : bool;
+  inject : Inject.t option;
   mutable cpu : Cpu.t;
+  mutable fuel_left : int;
   mutable detections : Fault.t list;
   mutable crashes : int;
   mutable restarts : int;
 }
 
-let start ?(profile = Cost.epyc_rome) ?(fuel = 50_000_000) ?(strict_align = false) image =
+let start ?(profile = Cost.epyc_rome) ?(fuel = 50_000_000) ?(strict_align = false) ?inject
+    image =
   {
     image;
     profile;
     fuel;
     strict_align;
-    cpu = Loader.load ~strict_align ~profile image;
+    inject;
+    cpu = Loader.load ~strict_align ?inject ~profile image;
+    fuel_left = fuel;
     detections = [];
     crashes = 0;
     restarts = 0;
@@ -27,16 +32,36 @@ let record_fault t f =
   t.crashes <- t.crashes + 1;
   if Fault.is_detection f then t.detections <- f :: t.detections
 
-let run t =
-  match Cpu.run t.cpu ~fuel:t.fuel with
+(* Fuel is a per-lifetime budget consumed across run segments: a process
+   stopped at a breakpoint and resumed does not get a fresh allowance. An
+   optional per-segment cap on top of the remaining budget is the
+   supervisor's request-timeout primitive. The injector may cut the budget
+   further (the mid-request fuel-exhaustion chaos). *)
+let segment_budget t cap =
+  let b = match cap with Some f -> min f t.fuel_left | None -> t.fuel_left in
+  match t.inject with Some inj -> Inject.cut_fuel inj b | None -> b
+
+let consume t ~insns_before =
+  t.fuel_left <- max 0 (t.fuel_left - (t.cpu.Cpu.insns - insns_before))
+
+let run ?fuel t =
+  let budget = segment_budget t fuel in
+  let insns_before = t.cpu.Cpu.insns in
+  let r = Cpu.run t.cpu ~fuel:budget in
+  consume t ~insns_before;
+  match r with
   | Cpu.Halted -> Exited t.cpu.Cpu.exit_code
   | Cpu.Fuel_exhausted -> Timeout
   | Cpu.Faulted f ->
       record_fault t f;
       Crashed f
 
-let run_until t ~break =
-  match Cpu.run_until t.cpu ~fuel:t.fuel ~break with
+let run_until ?fuel t ~break =
+  let budget = segment_budget t fuel in
+  let insns_before = t.cpu.Cpu.insns in
+  let r = Cpu.run_until t.cpu ~fuel:budget ~break in
+  consume t ~insns_before;
+  match r with
   | Ok () -> `Hit
   | Error Cpu.Halted -> `Done (Exited t.cpu.Cpu.exit_code)
   | Error Cpu.Fuel_exhausted -> `Done Timeout
@@ -45,7 +70,10 @@ let run_until t ~break =
       `Done (Crashed f)
 
 let restart t =
-  t.cpu <- Loader.load ~strict_align:t.strict_align ~profile:t.profile t.image;
+  t.cpu <- Loader.load ~strict_align:t.strict_align ?inject:t.inject ~profile:t.profile t.image;
+  (* A respawned worker gets the full fuel budget again, exactly as a
+     [start]ed one does. *)
+  t.fuel_left <- t.fuel;
   t.restarts <- t.restarts + 1
 
 let outcome_to_string = function
@@ -56,6 +84,7 @@ let outcome_to_string = function
 let cycles t = t.cpu.Cpu.cycles
 let insns t = t.cpu.Cpu.insns
 let calls t = t.cpu.Cpu.calls
+let fuel_left t = t.fuel_left
 let maxrss_bytes t = Mem.max_mapped_pages t.cpu.Cpu.mem * Addr.page_size
 let output t = Cpu.output t.cpu
 let sensitive_log t = t.cpu.Cpu.sensitive_log

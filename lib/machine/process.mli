@@ -4,7 +4,12 @@
     modelling the worker-respawn behaviour of nginx/Apache/OpenSSH that
     Blind ROP exploits (Section 4, [11]); detection events (booby traps,
     guard pages) are accumulated across restarts — they are what a
-    monitoring system would see. *)
+    monitoring system would see.
+
+    Fuel is a per-lifetime budget: it is consumed across [run]/[run_until]
+    segments and refilled only by [restart] (or a fresh [start]). The
+    supervision layer ({!R2c_runtime.Pool}) caps individual segments with
+    the [?fuel] argument to implement per-request timeouts. *)
 
 type outcome = Exited of int | Crashed of Fault.t | Timeout
 
@@ -13,27 +18,34 @@ type t = {
   profile : Cost.profile;
   fuel : int;
   strict_align : bool;
+  inject : Inject.t option;  (** chaos injector, re-attached on restart *)
   mutable cpu : Cpu.t;
+  mutable fuel_left : int;  (** remaining lifetime budget, in instructions *)
   mutable detections : Fault.t list;
   mutable crashes : int;
   mutable restarts : int;
 }
 
-(** [start ?profile ?fuel ?strict_align image] loads the image; nothing
-    runs yet. Default profile {!Cost.epyc_rome}, default fuel 50M
-    instructions, strict alignment off. *)
-val start : ?profile:Cost.profile -> ?fuel:int -> ?strict_align:bool -> Image.t -> t
+(** [start ?profile ?fuel ?strict_align ?inject image] loads the image;
+    nothing runs yet. Default profile {!Cost.epyc_rome}, default fuel 50M
+    instructions, strict alignment off, no injection. *)
+val start :
+  ?profile:Cost.profile -> ?fuel:int -> ?strict_align:bool -> ?inject:Inject.t ->
+  Image.t -> t
 
-(** [run t] — run to halt/fault/fuel, recording crashes and detections. *)
-val run : t -> outcome
+(** [run ?fuel t] — run to halt/fault/fuel, recording crashes and
+    detections. [?fuel] caps this segment below the remaining lifetime
+    budget (per-request timeout); exceeding either yields [Timeout]. *)
+val run : ?fuel:int -> t -> outcome
 
-(** [run_until t ~break] — run up to an address in [break]; [`Hit] means the
-    process is stopped there (e.g. a blocked victim thread whose stack the
-    attacker inspects). *)
-val run_until : t -> break:int list -> [ `Hit | `Done of outcome ]
+(** [run_until ?fuel t ~break] — run up to an address in [break]; [`Hit]
+    means the process is stopped there (e.g. a blocked victim thread whose
+    stack the attacker inspects). *)
+val run_until : ?fuel:int -> t -> break:int list -> [ `Hit | `Done of outcome ]
 
-(** [restart t] — fresh CPU and memory from the same image. Input queue and
-    output start empty; detection history is preserved. *)
+(** [restart t] — fresh CPU and memory from the same image, and a full
+    fuel budget (consistent with [start]). Input queue and output start
+    empty; detection history is preserved. *)
 val restart : t -> unit
 
 val outcome_to_string : outcome -> string
@@ -44,6 +56,9 @@ val cycles : t -> float
 
 val insns : t -> int
 val calls : t -> int
+
+(** [fuel_left t] — remaining lifetime fuel. *)
+val fuel_left : t -> int
 
 (** [maxrss_bytes t] — peak resident set, the Section 6.2.5 metric. *)
 val maxrss_bytes : t -> int

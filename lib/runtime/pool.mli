@@ -1,0 +1,99 @@
+(** Reactive worker-pool supervisor.
+
+    A pool of diversified worker processes serves a shared request queue —
+    the pre-fork server model (nginx, Apache) in which every worker is a
+    fork of one parent and therefore shares one randomized layout, the
+    uniformity Blind ROP feeds on (Section 4.1). The supervisor owns the
+    recovery story: per-request timeouts, bounded retry on another worker,
+    load shedding when the fleet is down, and a restart {!Policy.t} that
+    decides what a crashed worker comes back as — the same image, a fresh
+    layout, a backed-off respawn, or (reactively, once booby-trap
+    detections cross a threshold) a fleet-wide re-randomization or MVEE
+    lockstep.
+
+    Time is simulated-cycle time: serving burns the worker's measured
+    cycles, respawns burn configured penalty cycles, and arrivals advance a
+    global clock — enough to measure availability, MTTR and
+    detection-to-response latency deterministically. *)
+
+type config = {
+  workers : int;  (** pool size *)
+  policy : Policy.t;
+  seed : int;  (** master seed: parent image, respawn seeds, injectors *)
+  worker_fuel : int;  (** per-child lifetime instruction budget *)
+  request_fuel : int;  (** per-request instruction cap (timeout) *)
+  max_retries : int;  (** failed-request retries on other workers *)
+  requests_per_child : int;  (** recycle after N requests; 0 = never *)
+  spawn_cycles : int;  (** graceful recycle downtime *)
+  restart_cycles : int;  (** crash-respawn downtime *)
+  rerandomize_cycles : int;  (** recompile + respawn downtime *)
+  arrival_cycles : int;  (** inter-arrival gap charged per submit *)
+  detection_threshold : int;  (** Reactive: escalate at N detections *)
+  inject : R2c_machine.Inject.rates;  (** chaos fault-injection rates *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable served : int;
+  mutable dropped : int;  (** all unserved: failed out of retries + shed *)
+  mutable shed : int;  (** dropped without any attempt (no capacity) *)
+  mutable retried : int;
+  mutable crashes : int;
+  mutable timeouts : int;
+  mutable detections : int;  (** crashes with {!R2c_machine.Fault.is_detection} *)
+  mutable restarts : int;
+  mutable recycles : int;
+  mutable rerandomizations : int;
+  mutable quarantines : int;  (** circuit-breaker trips *)
+  mutable mvee_blocks : int;  (** requests refused by lockstep divergence *)
+  mutable recovery_cycles : int;  (** total downtime charged *)
+  mutable recoveries : int;
+  mutable first_detection : int option;  (** clock of first detection *)
+  mutable first_response : int option;  (** clock of reactive escalation *)
+}
+
+type response =
+  | Served of { cycles : int; lines : int }
+      (** [lines]: response lines the client saw — the feedback channel
+          Blind ROP's stop-gadget test reads *)
+  | Rejected of { reason : string; lines : int }
+      (** attempted but failed out of retries, or MVEE-blocked; [lines] is
+          output seen before the connection died *)
+  | Dropped  (** shed: no live worker would take it *)
+
+type t
+
+(** [create ?cfg ~build ~break_sym ()] — [build ~seed] compiles one worker
+    image; [break_sym] names the per-request serving point every worker
+    parks at between requests (the request-accept loop). All workers start
+    from a single [build ~seed:cfg.seed] image — the fork model. *)
+val create :
+  ?cfg:config -> build:(seed:int -> R2c_machine.Image.t) -> break_sym:string -> unit -> t
+
+(** [submit ?retries t payload] — advance the clock one arrival and serve
+    [payload] on the next available worker, retrying on others on failure
+    ([?retries] overrides [cfg.max_retries]; attack probes pass
+    [~retries:0]). Once a Reactive pool has escalated to MVEE, every
+    request is served in lockstep instead. *)
+val submit : ?retries:int -> t -> string -> response
+
+val stats : t -> stats
+val clock : t -> int
+
+(** [escalated t] — a Reactive pool has fired its escalation. *)
+val escalated : t -> bool
+
+(** [sensitive_log t] — privileged-call log across all workers, dead and
+    alive: (builtin address, first-arg) pairs. Compromise evidence. *)
+val sensitive_log : t -> (int * int) list
+
+(** [availability s] — served / (served + dropped); 1.0 with no traffic. *)
+val availability : stats -> float
+
+(** [mttr s] — mean downtime per recovery, in cycles. *)
+val mttr : stats -> float option
+
+(** [detection_to_response s] — cycles from first detection to the
+    reactive escalation, when both happened. *)
+val detection_to_response : stats -> int option

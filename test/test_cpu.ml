@@ -343,6 +343,64 @@ let test_read_input_overflow_reaches_memory () =
   Cpu.push_input p.Process.cpu "A";
   check_exit "first byte" (Char.code 'A') (Process.run p)
 
+let test_fault_detection_classes () =
+  (* Monitoring counts tripwire faults as detections; plain crashes (and
+     injected chaos faults, indistinguishable from organic failure) are
+     not. Every constructor is pinned so a new fault kind must choose. *)
+  let detections =
+    Fault.
+      [
+        Guard_page { addr = 0x5000; access = Read };
+        Booby_trap { addr = 0x1010 };
+        Cfi_violation { rip = 0x1000; expected = 1; got = 2 };
+      ]
+  in
+  let plain_crashes =
+    Fault.
+      [
+        Segv { addr = 0xdead; access = Write };
+        Misaligned_stack { rip = 0x1000; rsp = 0x7fff_0004 };
+        Invalid_opcode { addr = 0x42 };
+        Division_by_zero { rip = 0x1000 };
+        Injected { rip = 0x1000; kind = "bitflip" };
+      ]
+  in
+  List.iter
+    (fun f -> Alcotest.(check bool) (Fault.to_string f) true (Fault.is_detection f))
+    detections;
+  List.iter
+    (fun f -> Alcotest.(check bool) (Fault.to_string f) false (Fault.is_detection f))
+    plain_crashes
+
+let test_restart_refills_fuel () =
+  (* Fuel is a per-lifetime budget; a respawned worker gets a full one.
+     (Regression: restart used to leave the spent fuel_left in place, so a
+     long-lived pool slowly starved its own children.) *)
+  let img = image [ ("main", Insn.[ Mov (Reg RAX, Imm (Abs 0)); Ret ]) ] in
+  let p = Process.start ~fuel:5000 img in
+  check_exit "first life" 0 (Process.run p);
+  let spent = 5000 - Process.fuel_left p in
+  Alcotest.(check bool) "run consumed fuel" true (spent > 0);
+  Process.restart p;
+  Alcotest.(check int) "full budget after restart" 5000 (Process.fuel_left p);
+  check_exit "second life" 0 (Process.run p)
+
+let test_crash_accounting_across_restarts () =
+  (* Crash and detection counters are monitoring state: they survive
+     restarts, unlike CPU/memory/output. *)
+  let img = image [ ("main", Insn.[ Trap ]) ] in
+  let p = Process.start img in
+  for _ = 1 to 3 do
+    (match Process.run p with
+    | Process.Crashed (Fault.Booby_trap _) -> ()
+    | other -> Alcotest.failf "expected trap, got %s" (Process.outcome_to_string other));
+    Process.restart p
+  done;
+  Alcotest.(check int) "crashes accumulated" 3 p.Process.crashes;
+  Alcotest.(check int) "detections accumulated" 3 (List.length p.Process.detections);
+  Alcotest.(check int) "restarts counted" 3 p.Process.restarts;
+  Alcotest.(check bool) "detected flag" true (Process.detected p)
+
 let suite =
   [
     ( "cpu",
@@ -369,5 +427,9 @@ let suite =
         Alcotest.test_case "restart semantics" `Quick test_restart_preserves_layout_and_detections;
         Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
         Alcotest.test_case "read_input" `Quick test_read_input_overflow_reaches_memory;
+        Alcotest.test_case "fault detection classes" `Quick test_fault_detection_classes;
+        Alcotest.test_case "restart refills fuel" `Quick test_restart_refills_fuel;
+        Alcotest.test_case "crash accounting across restarts" `Quick
+          test_crash_accounting_across_restarts;
       ] );
   ]

@@ -248,6 +248,57 @@ let prop_pick_bounds =
       let p = Probability.pick_benign_heap_pointer ~benign:h ~btdps:b in
       p >= 0.0 && p <= 1.0)
 
+(* --- supervisor backoff --- *)
+
+let prop_backoff_monotone_capped =
+  Q.Test.make ~count:200 ~name:"backoff delays monotone non-decreasing, never above cap"
+    Q.(pair small_nat (int_range 1 6))
+    (fun (seed, factor) ->
+      let cfg = { R2c_runtime.Policy.default_backoff with factor } in
+      let s = R2c_runtime.Policy.Backoff_state.create ~cfg ~seed () in
+      let delays =
+        List.init 12 (fun _ -> R2c_runtime.Policy.Backoff_state.next_delay s)
+      in
+      let rec monotone = function
+        | a :: (b :: _ as tl) -> a <= b && monotone tl
+        | _ -> true
+      in
+      monotone delays
+      && List.for_all (fun d -> d >= cfg.base && d <= cfg.cap) delays)
+
+let prop_breaker_quarantines_within_window =
+  Q.Test.make ~count:200 ~name:"circuit breaker trips on max_crashes within window"
+    Q.(pair small_nat (int_range 2 8))
+    (fun (seed, max_crashes) ->
+      let cfg = { R2c_runtime.Policy.default_backoff with max_crashes } in
+      let s = R2c_runtime.Policy.Backoff_state.create ~cfg ~seed () in
+      (* crashes packed well inside one window: the Nth must trip it *)
+      let step = cfg.window / (2 * max_crashes) in
+      let tripped = ref false in
+      for i = 0 to max_crashes - 1 do
+        let now = i * step in
+        let t = R2c_runtime.Policy.Backoff_state.record_crash s ~now in
+        if i < max_crashes - 1 then assert (not t) else tripped := t
+      done;
+      let now = (max_crashes - 1) * step in
+      !tripped
+      && R2c_runtime.Policy.Backoff_state.quarantined s ~now
+      && R2c_runtime.Policy.Backoff_state.quarantined_until s = now + cfg.quarantine
+      && not
+           (R2c_runtime.Policy.Backoff_state.quarantined s
+              ~now:(now + cfg.quarantine + 1)))
+
+let prop_breaker_spaced_crashes_never_trip =
+  Q.Test.make ~count:200 ~name:"crashes spaced past the window never trip the breaker"
+    Q.(pair small_nat (int_range 2 6))
+    (fun (seed, max_crashes) ->
+      let cfg = { R2c_runtime.Policy.default_backoff with max_crashes } in
+      let s = R2c_runtime.Policy.Backoff_state.create ~cfg ~seed () in
+      let gap = cfg.window + 1 in
+      List.for_all not
+        (List.init (3 * max_crashes) (fun i ->
+             R2c_runtime.Policy.Backoff_state.record_crash s ~now:(i * gap))))
+
 let suite =
   [
     ( "properties",
@@ -271,5 +322,8 @@ let suite =
           prop_heap_no_overlap;
           prop_guess_decreasing;
           prop_pick_bounds;
+          prop_backoff_monotone_capped;
+          prop_breaker_quarantines_within_window;
+          prop_breaker_spaced_crashes_never_trip;
         ] );
   ]

@@ -1,0 +1,142 @@
+(* Supervision layer: restart policies, the worker pool, and the chaos
+   harness acceptance properties (availability under Blind ROP, rate-0
+   injector equivalence). *)
+
+open R2c_machine
+module Policy = R2c_runtime.Policy
+module Pool = R2c_runtime.Pool
+module Chaos = R2c_harness.Chaos
+module Vulnapp = R2c_workloads.Vulnapp
+
+let victim_cfg = { R2c_core.Dconfig.full_checked with R2c_core.Dconfig.aslr = false }
+let build ~seed = Vulnapp.build ~seed victim_cfg
+
+let make_pool ?(policy = Policy.Same_image) ?(cfg = Pool.default_config) () =
+  Pool.create ~cfg:{ cfg with Pool.policy } ~build ~break_sym:Vulnapp.break_symbol ()
+
+(* --- pool request semantics --- *)
+
+let test_pool_serves_legit () =
+  let pool = make_pool () in
+  let total_lines = ref 0 in
+  for _ = 1 to 25 do
+    match Pool.submit pool "GET /status" with
+    | Pool.Served { cycles; lines } ->
+        Alcotest.(check bool) "cycles charged" true (cycles > 0);
+        total_lines := !total_lines + lines
+    | _ -> Alcotest.fail "legit request not served"
+  done;
+  (* only the echo handler (every third dispatch) prints, but the client
+     must have seen output over the batch *)
+  Alcotest.(check bool) "responses visible" true (!total_lines > 0);
+  let s = Pool.stats pool in
+  Alcotest.(check int) "all served" 25 s.Pool.served;
+  Alcotest.(check int) "none dropped" 0 s.Pool.dropped;
+  Alcotest.(check (float 0.0)) "availability 1.0" 1.0 (Pool.availability s);
+  Alcotest.(check bool) "clock advanced" true (Pool.clock pool > 0)
+
+let test_pool_recycles_children () =
+  let cfg = { Pool.default_config with Pool.requests_per_child = 1 } in
+  let pool = make_pool ~cfg () in
+  for _ = 1 to 8 do
+    match Pool.submit pool "GET /status" with
+    | Pool.Served _ -> ()
+    | _ -> Alcotest.fail "not served"
+  done;
+  Alcotest.(check bool) "children recycled" true ((Pool.stats pool).Pool.recycles >= 5)
+
+let test_pool_timeout_and_retry () =
+  (* A request cap far below the handler's cost: every attempt times out,
+     retries burn through the other workers, the request is dropped. *)
+  let cfg = { Pool.default_config with Pool.request_fuel = 40; Pool.max_retries = 2 } in
+  let pool = make_pool ~cfg () in
+  (match Pool.submit pool "GET /status" with
+  | Pool.Rejected _ | Pool.Dropped -> ()
+  | Pool.Served _ -> Alcotest.fail "served under a 40-instruction cap");
+  let s = Pool.stats pool in
+  Alcotest.(check bool) "timeouts recorded" true (s.Pool.timeouts >= 1);
+  Alcotest.(check bool) "retries recorded" true (s.Pool.retried >= 1);
+  Alcotest.(check int) "dropped" 1 s.Pool.dropped
+
+let test_pool_crash_restarts_worker () =
+  (* A probe that smashes far past the buffer crashes the worker; the pool
+     restarts it and keeps serving. *)
+  let pool = make_pool () in
+  let probe = String.make 400 'A' in
+  (match Pool.submit ~retries:0 pool probe with
+  | Pool.Rejected _ | Pool.Dropped -> ()
+  | Pool.Served _ -> Alcotest.fail "overflow probe served");
+  let s = Pool.stats pool in
+  Alcotest.(check bool) "crash recorded" true (s.Pool.crashes >= 1);
+  Alcotest.(check bool) "restart recorded" true (s.Pool.restarts >= 1);
+  match Pool.submit pool "GET /status" with
+  | Pool.Served _ -> ()
+  | _ -> Alcotest.fail "pool dead after one crash"
+
+(* --- injected faults surface as ordinary crashes --- *)
+
+let test_spurious_injection_crashes () =
+  let inject =
+    Inject.create ~rates:{ Inject.zero with Inject.spurious_fault = 1.0 } ~seed:3 ()
+  in
+  let p = Process.start ~inject (build ~seed:5) in
+  (match Process.run p with
+  | Process.Crashed (Fault.Injected _) -> ()
+  | other -> Alcotest.failf "expected injected fault, got %s" (Process.outcome_to_string other));
+  Alcotest.(check bool) "injection counted" true
+    ((Inject.counters inject).Inject.spurious_faults >= 1)
+
+(* --- the guardrail: rate-0 injection is a no-op --- *)
+
+let test_rate_zero_equivalence () =
+  Alcotest.(check bool) "seed 5: outcome, insns, cycles identical" true
+    (Chaos.baseline_equivalence ~seed:5 ());
+  Alcotest.(check bool) "seed 23: outcome, insns, cycles identical" true
+    (Chaos.baseline_equivalence ~seed:23 ())
+
+(* --- the acceptance property: reactive policies out-survive same-image ---
+
+   One deterministic seed, full Blind-ROP campaign against each policy.
+   Under Same_image the fork-uniform pool is the textbook BROP target: the
+   attacker reads the stack byte-for-byte, locates the return address and
+   sweeps gadgets until the sensitive(marker) call lands. Rerandomize and
+   Reactive churn the layout under the attacker's feet; the campaign dies
+   in a give-up and legit availability stays strictly higher. *)
+
+let test_chaos_acceptance () =
+  let seed = 11 and legit_total = 600 in
+  let base = Chaos.run_policy ~seed ~legit_total Policy.Same_image in
+  let rerand = Chaos.run_policy ~seed ~legit_total Policy.Rerandomize in
+  let reactive =
+    Chaos.run_policy ~seed ~legit_total (Policy.Reactive Policy.Escalate_rerandomize)
+  in
+  Alcotest.(check bool) "same-image compromised" true base.Chaos.compromised;
+  Alcotest.(check bool) "same-image saw detections" true
+    (base.Chaos.stats.Pool.detections > 0);
+  Alcotest.(check bool) "rerandomize not compromised" false rerand.Chaos.compromised;
+  Alcotest.(check bool) "reactive not compromised" false reactive.Chaos.compromised;
+  Alcotest.(check bool) "reactive escalated" true reactive.Chaos.escalated;
+  Alcotest.(check bool)
+    (Printf.sprintf "rerandomize availability strictly higher (%.3f > %.3f)"
+       rerand.Chaos.availability base.Chaos.availability)
+    true
+    (rerand.Chaos.availability > base.Chaos.availability);
+  Alcotest.(check bool)
+    (Printf.sprintf "reactive availability strictly higher (%.3f > %.3f)"
+       reactive.Chaos.availability base.Chaos.availability)
+    true
+    (reactive.Chaos.availability > base.Chaos.availability)
+
+let suite =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "pool serves legit traffic" `Quick test_pool_serves_legit;
+        Alcotest.test_case "requests_per_child recycles" `Quick test_pool_recycles_children;
+        Alcotest.test_case "timeout, retry, drop" `Quick test_pool_timeout_and_retry;
+        Alcotest.test_case "crash restarts worker" `Quick test_pool_crash_restarts_worker;
+        Alcotest.test_case "spurious injection crashes" `Quick test_spurious_injection_crashes;
+        Alcotest.test_case "rate-0 injection is exact no-op" `Quick test_rate_zero_equivalence;
+        Alcotest.test_case "reactive out-survives same-image" `Slow test_chaos_acceptance;
+      ] );
+  ]
