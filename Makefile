@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench
+.PHONY: all build test check clean examples bench audit
 
 all: build
 
@@ -10,7 +10,14 @@ build:
 test:
 	dune runtest
 
-check: build test
+# Static audit: IR validation over every workload, invariant lint +
+# self-check + cross-variant gadget surface over built images. Exits
+# nonzero on any finding.
+audit:
+	dune exec bin/experiments.exe -- audit
+	dune exec bin/r2cc.exe -- examples/triangle.r2c -c full -s 7 --lint
+
+check: build test audit
 
 examples:
 	dune build examples

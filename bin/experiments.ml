@@ -24,6 +24,23 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Call frequencies (paper Table 2).")
     Term.(const run $ const ())
 
+(* Reproduction gate: the R2C row must stop every attack trial and the
+   unprotected baseline must fall to at least one, or the reproduction has
+   regressed and CI should say so. *)
+let table3_gate (rows : R2c_harness.Table3.row list) =
+  let row name = List.find_opt (fun (r : R2c_harness.Table3.row) -> r.defense = name) rows in
+  let stopped (r : R2c_harness.Table3.row) =
+    List.for_all (fun (c : R2c_harness.Table3.cell) -> c.successes = 0) r.cells
+  in
+  let fell (r : R2c_harness.Table3.row) =
+    List.exists (fun (c : R2c_harness.Table3.cell) -> c.successes > 0) r.cells
+  in
+  match (row "R2C", row "unprotected") with
+  | Some r2c, Some unprot when stopped r2c && fell unprot -> 0
+  | _ ->
+      prerr_endline "table3: reproduction check failed (R2C breached or baseline unbeaten)";
+      1
+
 let table3_cmd =
   let trials =
     Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials per cell.")
@@ -32,8 +49,9 @@ let table3_cmd =
     Arg.(value & flag & info [ "no-overhead" ] ~doc:"Skip the measured overhead column.")
   in
   let run trials no_overhead =
-    R2c_harness.Table3.(print (run ~trials ~with_overhead:(not no_overhead) ()));
-    0
+    let rows = R2c_harness.Table3.run ~trials ~with_overhead:(not no_overhead) () in
+    R2c_harness.Table3.print rows;
+    table3_gate rows
   in
   Cmd.v (Cmd.info "table3" ~doc:"Defense comparison (paper Table 3).")
     Term.(const run $ trials $ overheads)
@@ -70,8 +88,13 @@ let security_cmd =
     Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials.")
   in
   let run trials =
-    R2c_harness.Secbench.(print (run ~trials ()));
-    0
+    let r = R2c_harness.Secbench.run ~trials () in
+    R2c_harness.Secbench.print r;
+    if r.aocr_successes = 0 && r.brop_successes = 0 then 0
+    else begin
+      prerr_endline "security: reproduction check failed (an attack breached full R2C)";
+      1
+    end
   in
   Cmd.v (Cmd.info "security" ~doc:"Probabilistic security evaluation (Section 7.2).")
     Term.(const run $ trials)
@@ -113,10 +136,28 @@ let chaos_cmd =
   in
   let run seed legit budget =
     let attack = { R2c_harness.Chaos.default_attack with probe_budget = budget } in
-    R2c_harness.Chaos.(print (run ~seed ~legit_total:legit ~attack ()));
+    let results = R2c_harness.Chaos.run ~seed ~legit_total:legit ~attack () in
+    R2c_harness.Chaos.print results;
     R2c_harness.Chaos.(print_sweep (injection_sweep ()));
-    R2c_harness.Chaos.(print_equivalence (baseline_equivalence ()));
-    0
+    let equiv = R2c_harness.Chaos.baseline_equivalence () in
+    R2c_harness.Chaos.print_equivalence equiv;
+    (* Gate: re-randomizing policies must hold against the campaign the
+       same-image policy loses to, and the zero-rate injector must stay a
+       bit-exact no-op. *)
+    let holds =
+      List.for_all
+        (fun (r : R2c_harness.Chaos.run_result) ->
+          match r.policy with
+          | R2c_runtime.Policy.Rerandomize | R2c_runtime.Policy.Reactive _ ->
+              not r.compromised
+          | R2c_runtime.Policy.Same_image | R2c_runtime.Policy.Backoff _ -> true)
+        results
+    in
+    if equiv && holds then 0
+    else begin
+      prerr_endline "chaos: reproduction check failed";
+      1
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -124,6 +165,25 @@ let chaos_cmd =
          "Availability under fault injection and a Blind-ROP campaign, per restart \
           policy.")
     Term.(const run $ seed $ legit $ budget)
+
+let audit_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 2; 3; 5; 7; 11 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Variant seeds (one diversified image each).")
+  in
+  let run seeds =
+    let a = R2c_harness.Audit.run ~seeds () in
+    R2c_harness.Audit.print a;
+    if R2c_harness.Audit.ok a then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Static image audit: IR validation, invariant lint, cross-variant gadget \
+          survivors, sanitizer wiring self-check.")
+    Term.(const run $ seeds)
 
 let all_cmd =
   let run seeds =
@@ -147,5 +207,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
-            security_cmd; scale_cmd; ablation_cmd; chaos_cmd; all_cmd;
+            security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; all_cmd;
           ]))

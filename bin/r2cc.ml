@@ -21,6 +21,7 @@ let config_of_name = function
   | "baseline" -> Dconfig.baseline
   | "full" -> Dconfig.full ()
   | "full-push" -> Dconfig.full ~setup:Dconfig.Push ()
+  | "full-checked" -> Dconfig.full_checked
   | "push" -> Dconfig.btra_push_only
   | "avx" -> Dconfig.btra_avx_only
   | "btdp" -> Dconfig.btdp_only
@@ -43,7 +44,7 @@ let machine_of_name name =
       | "xeon" -> Cost.xeon_8358
       | other -> failwith ("unknown machine " ^ other))
 
-let run_workload name config machine seed dump emit_ir trace =
+let run_workload name config machine seed dump emit_ir trace lint =
   let program =
     (* A path ending in .r2c is compiled from source; otherwise it names a
        bundled workload. *)
@@ -79,7 +80,21 @@ let run_workload name config machine seed dump emit_ir trace =
     if config = "baseline" then R2c_compiler.Driver.compile program
     else R2c_core.Pipeline.compile ~seed cfg program
   in
-  if dump then begin
+  if lint then begin
+    let module Lint = R2c_analysis.Lint in
+    let expect = Lint.expect_of_dconfig cfg in
+    let findings = Lint.run ~expect img in
+    let stats = R2c_analysis.Cfg.(stats (recover img)) in
+    let gadgets = List.length (R2c_analysis.Gadget.scan img) in
+    Printf.printf
+      "%s under %s (seed %d): %d finding(s); cfg %d funcs / %d blocks / %d edges; %d \
+       gadget(s)\n"
+      name config seed (List.length findings) stats.R2c_analysis.Cfg.n_funcs
+      stats.R2c_analysis.Cfg.n_blocks stats.R2c_analysis.Cfg.n_edges gadgets;
+    List.iter (fun f -> print_endline ("  " ^ Lint.finding_to_string f)) findings;
+    if findings = [] then 0 else 1
+  end
+  else if dump then begin
     Printf.printf "; %s under %s (seed %d)\n%s" name config seed (Dump.image img);
     0
   end
@@ -125,7 +140,8 @@ let () =
       value & opt string "full"
       & info [ "c"; "config" ] ~docv:"CONFIG"
           ~doc:
-            "Protection: baseline, full, full-push, push, avx, btdp, prolog, layout, oia.")
+            "Protection: baseline, full, full-checked, full-push, push, avx, btdp, \
+             prolog, layout, oia.")
   in
   let machine =
     Arg.(
@@ -144,10 +160,19 @@ let () =
   let trace =
     Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Trace execution; print the final instructions.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the static invariant linter on the linked image instead of executing; \
+             exit nonzero on findings.")
+  in
   let doc = "Compile and run a bundled workload under R2C protection." in
   let cmd =
     Cmd.v (Cmd.info "r2cc" ~version:"1.0.0" ~doc)
       Term.(
-        const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace)
+        const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace
+        $ lint)
   in
   exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(* The static analysis layer, end to end: recover a CFG straight from a
+   linked image, lint it against the R2C invariants the configuration
+   promises, prove the linter's wiring with targeted mutations, and
+   measure the gadget surface that survives across diversified variants.
+
+     dune exec examples/static_audit.exe *)
+
+module Cfg = R2c_analysis.Cfg
+module Lint = R2c_analysis.Lint
+module Gadget = R2c_analysis.Gadget
+module Selfcheck = R2c_analysis.Selfcheck
+module Defenses = R2c_defenses.Defenses
+module Table = R2c_util.Table
+
+let () =
+  print_endline "== Static image audit ==\n";
+
+  (* 1. CFG recovery: decode the image, split into basic blocks, follow
+     direct branches and calls. Diversification is visible structurally —
+     booby traps and prolog traps add functions and blocks. *)
+  let img = Defenses.build_vulnapp Defenses.r2c_checked ~seed:11 in
+  let cfg = Cfg.recover img in
+  let s = Cfg.stats cfg in
+  Printf.printf
+    "CFG of an R2C-checked vulnapp (seed 11):\n\
+    \  %d functions, %d basic blocks, %d branch edges,\n\
+    \  %d call edges, %d indirect transfers\n\n"
+    s.Cfg.n_funcs s.Cfg.n_blocks s.Cfg.n_edges s.Cfg.n_call_edges s.Cfg.n_indirect;
+
+  (* 2. Invariant lint: the expectation vector is derived from the build
+     configuration, so the linter knows which promises to hold the image
+     to (XOM, checked BTRAs, booby traps, pointer hygiene). *)
+  let expect = Lint.expect_of_dconfig R2c_core.Dconfig.full_checked in
+  (match Lint.run ~expect img with
+  | [] -> print_endline "Lint: CLEAN — every configured invariant holds.\n"
+  | fs ->
+      Printf.printf "Lint: %d findings\n" (List.length fs);
+      List.iter (fun f -> print_endline ("  " ^ Lint.finding_to_string f)) fs;
+      print_newline ());
+
+  (* 3. Sanitizer wiring: mutate the image three ways — drop the BTRA
+     post-return check, skip the mprotect seal, plant a readable code
+     pointer — and confirm each trips exactly its own rule. A linter that
+     passes clean images is only trustworthy if it fails broken ones. *)
+  let outcomes = Selfcheck.run ~expect img in
+  Table.print ~title:"Self-check: each mutation trips exactly its rule"
+    ~headers:[ "mutation"; "expected"; "rules hit"; "findings"; "ok" ]
+    ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right; Table.Left ]
+    (List.map
+       (fun (o : Selfcheck.outcome) ->
+         [
+           Selfcheck.mutation_to_string o.mutation;
+           o.expected;
+           String.concat "," o.rules_hit;
+           string_of_int o.n_findings;
+           (if o.ok then "yes" else "NO");
+         ])
+       outcomes);
+  print_newline ();
+
+  (* 4. Gadget surface across variants: scan every byte offset of four
+     diversified builds. Each variant has gadgets; what matters is how
+     many survive at the same text-relative offset in all of them —
+     that intersection is what an attacker with one leaked copy can
+     reuse against another. *)
+  let seeds = [ 2; 3; 5; 7 ] in
+  let scans =
+    List.map (fun seed -> (seed, Gadget.scan (Defenses.build_vulnapp Defenses.r2c ~seed))) seeds
+  in
+  Table.print ~title:"Gadget counts per diversified variant"
+    ~headers:[ "seed"; "gadgets" ]
+    ~aligns:[ Table.Right; Table.Right ]
+    (List.map (fun (seed, gs) -> [ string_of_int seed; string_of_int (List.length gs) ]) scans);
+  let survivors = Gadget.survivors (List.map snd scans) in
+  Printf.printf "\nSurvivors present in all %d variants: %d\n" (List.length seeds)
+    (List.length survivors);
+  print_endline
+    "Diversification pays off exactly when that intersection collapses:\n\
+     a gadget an attacker scouts in one variant is gone from the next."

@@ -1,0 +1,41 @@
+(** The R2C invariant linter: a rule registry over a linked image.
+
+    Each rule statically re-checks one leg of the paper's security
+    argument (Sections 5 and 7.2) against the image and its loaded memory
+    view, returning structured findings with image addresses. A clean
+    full-R2C image reports zero findings; an emit/link regression that
+    weakens the defense shows up here before any dynamic attack does. *)
+
+(** What the diversity configuration promises, i.e. which invariants are
+    load-bearing for this image. Derive it with {!expect_of_dconfig} so
+    the linter does not flag, say, readable text on a baseline build. *)
+type expect = {
+  xom : bool;  (** text must be execute-only *)
+  checked_btra : bool;  (** every call site carries a Section 7.3 post-check *)
+  cph : bool;  (** readable function pointers must be trampolines *)
+  booby_traps : bool;  (** the image must contain booby-trap functions *)
+}
+
+(** Nothing promised: only unconditional invariants (W^X, unwind-row and
+    call-site consistency, pointer sanctioning) are checked. *)
+val relaxed : expect
+
+(** [expect_of_dconfig ?cph cfg] — the promises a {!R2c_core.Dconfig.t}
+    makes. [cph] is a property of the defense model wrapped around the
+    config (Readactor/CodeArmor), not of the config itself. *)
+val expect_of_dconfig : ?cph:bool -> R2c_core.Dconfig.t -> expect
+
+type finding = {
+  rule : string;  (** registry name of the rule that fired *)
+  f_addr : int option;  (** image address the finding anchors to *)
+  detail : string;
+}
+
+val finding_to_string : finding -> string
+
+(** Registry: [(name, one-line description)] in evaluation order. *)
+val rules : (string * string) list
+
+(** [run ~expect img] — load [img] into fresh memory, recover its CFG and
+    evaluate every rule. Findings are sorted by rule then address. *)
+val run : expect:expect -> R2c_machine.Image.t -> finding list

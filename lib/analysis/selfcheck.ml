@@ -1,0 +1,83 @@
+open R2c_machine
+
+type mutation = Drop_btra_postcheck | Skip_mprotect | Plant_code_pointer
+
+let all = [ Drop_btra_postcheck; Skip_mprotect; Plant_code_pointer ]
+
+let mutation_to_string = function
+  | Drop_btra_postcheck -> "drop BTRA post-check"
+  | Skip_mprotect -> "skip mprotect seal"
+  | Plant_code_pointer -> "plant readable code pointer"
+
+let expected_rule = function
+  | Drop_btra_postcheck -> "btra"
+  | Skip_mprotect -> "wx"
+  | Plant_code_pointer -> "ptr"
+
+let drop_postcheck (img : Image.t) =
+  let ras = Hashtbl.fold (fun a () acc -> a :: acc) img.checked_sites [] in
+  match List.sort compare ras with
+  | [] ->
+      invalid_arg
+        "Selfcheck: image has no checked BTRA call sites (build with check_after_return)"
+  | ra :: _ -> (
+      match Image.code_at img ra with
+      | Some (Insn.Mov (Reg R11, Mem _), len) ->
+          (* Overwrite the first post-check instruction with a same-size
+             NOP in a deep copy of the code tables: the emitted bytes no
+             longer match what checked_sites promises. *)
+          let code = Hashtbl.copy img.code in
+          Hashtbl.replace code ra (Insn.Nop len, len);
+          let code_list =
+            Array.map
+              (fun (a, i, l) -> if a = ra then (a, Insn.Nop len, l) else (a, i, l))
+              img.code_list
+          in
+          { img with code; code_list }
+      | _ -> invalid_arg "Selfcheck: no post-return check at the first checked site")
+
+let skip_mprotect (img : Image.t) = { img with text_perm = Perm.rw }
+
+let plant_code_pointer (img : Image.t) =
+  let victim =
+    match List.find_opt (fun (f : Image.func_info) -> not f.is_booby_trap) img.funcs with
+    | Some f -> f
+    | None -> invalid_arg "Selfcheck: image has no ordinary function to leak"
+  in
+  let addr = Addr.align_up (img.data_base + img.data_len) ~align:8 in
+  {
+    img with
+    data_len = addr + 8 - img.data_base;
+    data_words = img.data_words @ [ (addr, victim.entry) ];
+  }
+
+let apply m img =
+  match m with
+  | Drop_btra_postcheck -> drop_postcheck img
+  | Skip_mprotect -> skip_mprotect img
+  | Plant_code_pointer -> plant_code_pointer img
+
+type outcome = {
+  mutation : mutation;
+  expected : string;
+  rules_hit : string list;
+  n_findings : int;
+  ok : bool;
+}
+
+let run ~expect img =
+  List.map
+    (fun m ->
+      let findings = Lint.run ~expect (apply m img) in
+      let rules_hit =
+        List.sort_uniq compare (List.map (fun (f : Lint.finding) -> f.rule) findings)
+      in
+      let expected = expected_rule m in
+      {
+        mutation = m;
+        expected;
+        rules_hit;
+        n_findings = List.length findings;
+        ok = findings <> [] && rules_hit = [ expected ];
+      })
+    all

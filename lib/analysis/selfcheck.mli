@@ -1,0 +1,36 @@
+(** Sanitizer wiring self-check: is the linter actually watching?
+
+    Each {!mutation} deliberately breaks exactly one invariant of a
+    healthy image — a dropped Section 7.3 post-return check, a skipped
+    mprotect text seal, a raw code pointer planted in readable data — and
+    {!run} asserts the linter flags it with findings from {e exactly} the
+    corresponding rule and no other. A rule that fires on the wrong
+    mutation, or not at all, is miswired. *)
+
+type mutation =
+  | Drop_btra_postcheck
+      (** replace the first post-return check's load with a same-size NOP *)
+  | Skip_mprotect  (** leave the text mapping read-write, never sealed *)
+  | Plant_code_pointer
+      (** append a readable data word holding a real function entry *)
+
+val all : mutation list
+val mutation_to_string : mutation -> string
+
+(** [expected_rule m] — the one {!Lint} rule that must flag [m]. *)
+val expected_rule : mutation -> string
+
+(** [apply m img] — a mutated copy; [img] itself is never modified.
+    [Drop_btra_postcheck] requires an image built with
+    [check_after_return] (raises [Invalid_argument] otherwise). *)
+val apply : mutation -> R2c_machine.Image.t -> R2c_machine.Image.t
+
+type outcome = {
+  mutation : mutation;
+  expected : string;
+  rules_hit : string list;  (** distinct rules that fired, sorted *)
+  n_findings : int;
+  ok : bool;  (** fired, and only the expected rule did *)
+}
+
+val run : expect:Lint.expect -> R2c_machine.Image.t -> outcome list

@@ -2,6 +2,7 @@ type frame_meta = {
   frame_size : int;
   post_words : int;
   ra_sites : (string * int) list;
+  check_sites : string list;
 }
 
 type emitted = {

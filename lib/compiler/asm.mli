@@ -11,6 +11,9 @@ type frame_meta = {
       (** per call site: return-address symbol and the number of words
           between the RA slot and the caller's frame base (pre-BTRAs plus
           pushed stack arguments and padding) *)
+  check_sites : string list;
+      (** return-address symbols of call sites carrying a Section 7.3
+          post-return booby-trap check *)
 }
 
 type emitted = {

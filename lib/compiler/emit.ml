@@ -106,6 +106,7 @@ type ctx = {
   mutable push_adjust : int;  (* bytes pushed beyond the frame, live now *)
   mutable site : int;
   mutable ra_sites : (string * int) list;  (* unwind rows, reversed *)
+  mutable check_sites : string list;  (* RA symbols with post-return checks *)
 }
 
 let label_sym ctx lbl = Printf.sprintf "%s.L%d" ctx.f.name lbl
@@ -234,6 +235,9 @@ let emit_call ctx dst callee args =
      pre-BTRAs plus pushed stack arguments and alignment padding. *)
   let pre_words = match plan with Some p -> List.length p.Opts.pre_syms | None -> 0 in
   ctx.ra_sites <- (this_ra, pre_words + k + pad) :: ctx.ra_sites;
+  (match plan with
+  | Some p when p.Opts.check_sym <> None -> ctx.check_sites <- this_ra :: ctx.check_sites
+  | _ -> ());
   (* Defender-side metadata: the address of the call instruction itself
      (used by the race-window analysis and the unwinder tests). *)
   let call_label () = def_sym eb (Printf.sprintf "__call_%s_%d" fname site) in
@@ -435,7 +439,10 @@ let emit_func ~(opts : Opts.t) (f : Ir.func) =
   let post_words = opts.post_offset_words ~fname in
   let frame = build_frame ~opts f alloc ~btdps ~post_words in
   let ctx =
-    { f; opts; alloc; frame; eb = eb_create (); push_adjust = 0; site = 0; ra_sites = [] }
+    {
+      f; opts; alloc; frame; eb = eb_create (); push_adjust = 0; site = 0;
+      ra_sites = []; check_sites = [];
+    }
   in
   let eb = ctx.eb in
   (* Prolog traps: jumped over on the legitimate path (Section 4.3). *)
@@ -500,5 +507,6 @@ let emit_func ~(opts : Opts.t) (f : Ir.func) =
           Asm.frame_size = frame.frame_size;
           post_words;
           ra_sites = List.rev ctx.ra_sites;
+          check_sites = List.rev ctx.check_sites;
         };
   }

@@ -96,6 +96,7 @@ let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.globa
   in
   let (_ : int) = place_insns start_base start_insns in
   let unwind_sites = Hashtbl.create 1024 in
+  let checked_sites = Hashtbl.create 64 in
   let unwind_rows = ref [] in
   let funcs =
     List.map
@@ -106,7 +107,10 @@ let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.globa
             unwind_rows := (entry, len, meta.Asm.frame_size, meta.Asm.post_words) :: !unwind_rows;
             List.iter
               (fun (ra, words) -> Hashtbl.replace unwind_sites (resolve ra 0) words)
-              meta.Asm.ra_sites
+              meta.Asm.ra_sites;
+            List.iter
+              (fun ra -> Hashtbl.replace checked_sites (resolve ra 0) ())
+              meta.Asm.check_sites
         | None -> ());
         { Image.fname = e.ename; entry; code_len = len; is_booby_trap = e.ebooby_trap })
       placed
@@ -122,6 +126,14 @@ let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.globa
   let alias s = if is_func s then opts.func_alias s else s in
   let data_words = ref [] in
   let data_bytes = ref [] in
+  (* Symbolic initialisers resolving into text are the sanctioned
+     code-pointer population the static auditor's hygiene rule checks
+     readable memory against. *)
+  let code_ptr_slots = Hashtbl.create 64 in
+  let add_word addr v =
+    data_words := (addr, v) :: !data_words;
+    if v >= text_base && v < text_base + text_len then Hashtbl.replace code_ptr_slots addr ()
+  in
   List.iter
     (fun ((g : Ir.global), addr) ->
       let (_ : int) =
@@ -132,10 +144,10 @@ let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.globa
                 data_words := (addr + off, v) :: !data_words;
                 off + 8
             | Ir.Sym_addr s ->
-                data_words := (addr + off, resolve (alias s) 0) :: !data_words;
+                add_word (addr + off) (resolve (alias s) 0);
                 off + 8
             | Ir.Sym_addr_off (s, o) ->
-                data_words := (addr + off, resolve s o) :: !data_words;
+                add_word (addr + off) (resolve s o);
                 off + 8
             | Ir.Str s ->
                 data_bytes := (addr + off, s) :: !data_bytes;
@@ -167,5 +179,7 @@ let link ~(opts : Opts.t) ~main (emitted : Asm.emitted list) (globals : Ir.globa
     heap_base = Addr.heap_base + opts.heap_slide;
     unwind_funcs;
     unwind_sites;
+    checked_sites;
+    code_ptr_slots;
     shadow_stack = opts.shadow_stack;
   }

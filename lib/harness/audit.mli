@@ -1,0 +1,33 @@
+(** The static audit gate: IR validation over every generated workload,
+    the image linter over diversified vulnapp variants, the gadget-surface
+    survivor intersection, and the sanitizer wiring self-check — the
+    `experiments audit` subcommand and the `make check` lint step.
+
+    A clean run means: zero IR diagnostics, zero lint findings on every
+    unmodified image, every seeded mutation flagged by exactly its rule,
+    and a cross-variant gadget survivor count strictly below every single
+    variant's gadget count. *)
+
+type variant = {
+  label : string;
+  seed : int;
+  findings : R2c_analysis.Lint.finding list;
+  n_gadgets : int;
+  cfg_stats : R2c_analysis.Cfg.stats;
+}
+
+type t = {
+  ir_checked : (string * string list) list;  (** workload, diagnostics *)
+  r2c : variant list;  (** full R2C, one per seed *)
+  r2c_survivors : int;  (** gadget intersection across the r2c variants *)
+  baseline : variant list;  (** undiversified control group *)
+  baseline_survivors : int;
+  checked : variant;  (** full R2C + Section 7.3 post-checks *)
+  selfcheck : R2c_analysis.Selfcheck.outcome list;
+}
+
+(** [run ?seeds ()] — defaults to 5 seeds, i.e. 5 diversified variants. *)
+val run : ?seeds:int list -> unit -> t
+
+val ok : t -> bool
+val print : t -> unit

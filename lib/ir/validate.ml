@@ -106,7 +106,38 @@ let check (p : Ir.program) =
             check_operand c;
             check_label l1;
             check_label l2)
-      f.blocks
+      f.blocks;
+    (* Reachability from the entry block: dead blocks are always a
+       generator bug, and they inflate the diversified layout for no
+       coverage. (Skipped when labels are duplicated — the successor map
+       would be ambiguous.) *)
+    match f.blocks with
+    | entry :: _ when List.length f.blocks = Hashtbl.length labels ->
+        let succs = Hashtbl.create 16 in
+        List.iter
+          (fun (b : Ir.block) ->
+            let s =
+              match b.term with
+              | Ir.Ret _ -> []
+              | Ir.Br l -> [ l ]
+              | Ir.Cond_br (_, l1, l2) -> [ l1; l2 ]
+            in
+            Hashtbl.replace succs b.lbl s)
+          f.blocks;
+        let seen = Hashtbl.create 16 in
+        let rec visit l =
+          if Hashtbl.mem labels l && not (Hashtbl.mem seen l) then begin
+            Hashtbl.replace seen l ();
+            List.iter visit (try Hashtbl.find succs l with Not_found -> [])
+          end
+        in
+        visit entry.Ir.lbl;
+        List.iter
+          (fun (b : Ir.block) ->
+            if not (Hashtbl.mem seen b.lbl) then
+              where (Printf.sprintf "unreachable block %d" b.lbl))
+          f.blocks
+    | _ -> ()
   in
   List.iter check_func p.funcs;
   (match Ir.find_func p p.main with

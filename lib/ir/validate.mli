@@ -8,7 +8,8 @@ type error = { where : string; what : string }
 val error_to_string : error -> string
 
 (** [check p] — all violations found (empty = well-formed). Checks: entry
-    block first and labelled consistently, terminator targets exist, vars
-    and slots in range, direct callees and globals resolve, builtin names
-    are known, [main] exists and takes no parameters, symbol names unique. *)
+    block first and labelled consistently, block labels unique, every
+    block reachable from the entry, terminator targets exist, vars and
+    slots in range, direct callees and globals resolve, builtin names are
+    known, [main] exists and takes no parameters, symbol names unique. *)
 val check : Ir.program -> error list

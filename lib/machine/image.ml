@@ -23,6 +23,8 @@ type t = {
   heap_base : int;
   unwind_funcs : (int * int * int * int) array;
   unwind_sites : (int, int) Hashtbl.t;
+  checked_sites : (int, unit) Hashtbl.t;
+  code_ptr_slots : (int, unit) Hashtbl.t;
   shadow_stack : bool;
 }
 

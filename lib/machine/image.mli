@@ -44,6 +44,14 @@ type t = {
   unwind_sites : (int, int) Hashtbl.t;
       (** return address -> words between the RA slot and the caller frame
           base (BTRA pre-offset + stack arguments) — the FDE-like rows *)
+  checked_sites : (int, unit) Hashtbl.t;
+      (** return addresses whose call site the compiler instrumented with a
+          Section 7.3 post-return booby-trap check; the static auditor
+          verifies the check bytes are actually present at each *)
+  code_ptr_slots : (int, unit) Hashtbl.t;
+      (** data addresses whose initialiser legitimately holds a text
+          address (function-pointer tables, BTRA decoy arrays) — every
+          other readable word resolving into text is a leak *)
   shadow_stack : bool;  (** run under backward-edge CFI (Section 8.2) *)
 }
 

@@ -183,6 +183,10 @@ let flip_bit t ~addr ~bit =
       let c = Char.code (Bytes.unsafe_get p.data off) in
       Bytes.unsafe_set p.data off (Char.unsafe_chr (c lxor (1 lsl (bit land 7))))
 
+let page_perms t =
+  Hashtbl.fold (fun idx p acc -> (idx lsl Addr.page_shift, p.perm, p.guard) :: acc) t.pages []
+  |> List.sort compare
+
 let guard_page_addrs t =
   Hashtbl.fold
     (fun idx p acc -> if p.guard then (idx lsl Addr.page_shift) :: acc else acc)

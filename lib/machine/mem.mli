@@ -60,6 +60,10 @@ val writable_page_addrs : t -> int list
     the byte at [addr]; the {!Inject} bit-flip primitive. *)
 val flip_bit : t -> addr:int -> bit:int -> unit
 
+(** [page_perms t] — [(base, perm, guard)] for every mapped page, sorted by
+    base address; the static auditor's page-table walk. *)
+val page_perms : t -> (int * Perm.t * bool) list
+
 (** [guard_page_addrs t] — base addresses of pages tagged as guards;
     defender-side ground truth for tests and reports. *)
 val guard_page_addrs : t -> int list

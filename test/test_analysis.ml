@@ -42,6 +42,19 @@ let test_cluster_discards_small_ints () =
   let cs = Cluster.analyze [ 1; 2; 3; 0xffff ] in
   Alcotest.(check int) "no clusters" 0 (List.length cs)
 
+let test_cluster_empty () =
+  let cs = Cluster.analyze [] in
+  Alcotest.(check int) "no clusters" 0 (List.length cs);
+  Alcotest.(check (list int)) "no heap candidates" [] (Cluster.heap_candidates cs);
+  Alcotest.(check (list int)) "no code candidates" [] (Cluster.code_candidates cs)
+
+let test_cluster_single_value () =
+  (* One mmap-range value: a singleton cluster, labelled heap, no exception. *)
+  let cs = Cluster.analyze [ 0x5555_6000_1000 ] in
+  Alcotest.(check int) "one cluster" 1 (List.length cs);
+  Alcotest.(check (list int)) "the value is a heap candidate" [ 0x5555_6000_1000 ]
+    (Cluster.heap_candidates cs)
+
 let test_cluster_on_live_leak () =
   (* The analysis applied to an actual R2C frame finds a heap cluster that
      contains the BTDPs — the contamination the defense engineers. *)
@@ -151,6 +164,8 @@ let suite =
         Alcotest.test_case "cluster labels" `Quick test_cluster_labels;
         Alcotest.test_case "single mmap cluster" `Quick test_cluster_single_mmap_cluster_is_heap;
         Alcotest.test_case "small ints discarded" `Quick test_cluster_discards_small_ints;
+        Alcotest.test_case "empty input" `Quick test_cluster_empty;
+        Alcotest.test_case "single value" `Quick test_cluster_single_value;
         Alcotest.test_case "cluster on live leak" `Quick test_cluster_on_live_leak;
         Alcotest.test_case "trace records" `Quick test_trace_records_execution;
         Alcotest.test_case "trace capacity" `Quick test_trace_capacity_bound;
