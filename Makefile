@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench audit
+.PHONY: all build test check clean examples bench audit profile
 
 all: build
 
@@ -17,7 +17,13 @@ audit:
 	dune exec bin/experiments.exe -- audit
 	dune exec bin/r2cc.exe -- examples/triangle.r2c -c full -s 7 --lint
 
-check: build test audit
+# Profiling smoke: per-function cycle attribution must sum to the CPU's
+# own counters, and the exported pool timeline must re-parse as JSON with
+# one request span per submit. Exits nonzero on any violation.
+profile:
+	dune exec bin/experiments.exe -- profile mcf --trace /tmp/r2c_profile_trace.json
+
+check: build test audit profile
 
 examples:
 	dune build examples

@@ -127,11 +127,78 @@ let run_bechamel () =
         tbl)
     results
 
+(* --- `--json FILE`: machine-readable per-workload numbers (steady
+   cycles, overhead, insns, icache, call depth) for baseline vs full R2C,
+   emitted with the observability layer's JSON printer. --- *)
+
+let emit_json path =
+  let module Json = R2c_obs.Json in
+  let full = Dconfig.full () in
+  let seed = 3 in
+  let per_workload =
+    List.map
+      (fun (b : Spec.benchmark) ->
+        let base = Measure.run (R2c_compiler.Driver.compile b.Spec.program) in
+        let r2c = Measure.run (Pipeline.compile ~seed full b.Spec.program) in
+        let side (s : Measure.stats) =
+          Json.Obj
+            [
+              ("steady_cycles", Json.Float s.Measure.steady_cycles);
+              ("total_cycles", Json.Float s.Measure.total_cycles);
+              ("insns", Json.Int s.Measure.insns);
+              ("calls", Json.Int s.Measure.calls);
+              ("icache_accesses", Json.Int s.Measure.icache_accesses);
+              ("icache_misses", Json.Int s.Measure.icache_misses);
+              ("peak_depth", Json.Int s.Measure.peak_depth);
+              ("maxrss_bytes", Json.Int s.Measure.maxrss_bytes);
+            ]
+        in
+        let overhead = r2c.Measure.steady_cycles /. base.Measure.steady_cycles in
+        ( b.Spec.name,
+          overhead,
+          Json.Obj
+            [
+              ("baseline", side base);
+              ("full", side r2c);
+              ("overhead", Json.Float overhead);
+            ] ))
+      (Spec.all ())
+  in
+  let overheads = List.map (fun (_, o, _) -> o) per_workload in
+  let doc =
+    Json.Obj
+      [
+        ("config", Json.Str "full");
+        ("seed", Json.Int seed);
+        ( "workloads",
+          Json.Obj (List.map (fun (n, _, j) -> (n, j)) per_workload) );
+        ( "summary",
+          Json.Obj
+            [
+              ("geomean_overhead", Json.Float (R2c_util.Stats.geomean overheads));
+              ("max_overhead", Json.Float (R2c_util.Stats.maximum overheads));
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d workloads)\n%!" path (List.length per_workload)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let t0 = Unix.gettimeofday () in
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = split_json [] args in
+  (match json_path with Some path -> emit_json path | None -> ());
   let selected =
     match args with
+    | [] when json_path <> None -> []  (* --json alone: just the emission *)
     | [] -> List.map (fun (n, _, _) -> n) experiments @ [ "bechamel" ]
     | _ -> args
   in

@@ -185,6 +185,104 @@ let audit_cmd =
           survivors, sanitizer wiring self-check.")
     Term.(const run $ seeds)
 
+let profile_cmd =
+  let workload =
+    Arg.(value & pos 0 string "mcf" & info [] ~docv:"WORKLOAD" ~doc:"Benchmark name.")
+  in
+  let seed =
+    Arg.(value & opt int 3 & info [ "seed" ] ~docv:"SEED" ~doc:"Diversification seed.")
+  in
+  let config =
+    let configs =
+      [
+        ("full", `Full);
+        ("full-checked", `Full_checked);
+        ("btra-avx", `Btra_avx);
+        ("btra-push", `Btra_push);
+        ("btdp", `Btdp);
+        ("prolog", `Prolog);
+        ("layout", `Layout);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum configs) `Full
+      & info [ "config" ] ~docv:"CFG" ~doc:"R2C configuration to profile against.")
+  in
+  let top =
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc:"Functions shown.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 60
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests in the pool timeline run.")
+  in
+  let trace =
+    Arg.(
+      value & opt string ""
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the pool timeline as Chrome trace_event JSON (and FILE.jsonl).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the metrics registry exposition.")
+  in
+  let run workload seed config top requests trace metrics =
+    let cfg_name, cfg =
+      match config with
+      | `Full -> ("full", R2c_core.Dconfig.full ())
+      | `Full_checked -> ("full-checked", R2c_core.Dconfig.full_checked)
+      | `Btra_avx -> ("btra-avx", R2c_core.Dconfig.btra_avx_only)
+      | `Btra_push -> ("btra-push", R2c_core.Dconfig.btra_push_only)
+      | `Btdp -> ("btdp", R2c_core.Dconfig.btdp_only)
+      | `Prolog -> ("prolog", R2c_core.Dconfig.prolog_only)
+      | `Layout -> ("layout", R2c_core.Dconfig.layout_only)
+    in
+    let r = R2c_harness.Prof.run ~cfg ~cfg_name ~seed ~workload () in
+    R2c_harness.Prof.print ~top r;
+    if metrics then print_string (R2c_obs.Metrics.expose r.R2c_harness.Prof.sink.R2c_obs.Sink.metrics);
+    let sums = R2c_harness.Prof.sums_ok r in
+    if not sums then
+      prerr_endline "profile: column sums diverge from the CPU's own counters";
+    (* Pool timeline: export, re-parse, and check the span invariant. *)
+    let sink, stats = R2c_harness.Prof.pool_timeline ~requests () in
+    let events = sink.R2c_obs.Sink.events in
+    let doc = R2c_obs.Events.to_chrome events in
+    let parsed =
+      match R2c_obs.Json.parse doc with
+      | Ok _ -> true
+      | Error e ->
+          prerr_endline ("profile: trace JSON does not parse: " ^ e);
+          false
+    in
+    let spans = R2c_obs.Events.count ~cat:"request" events in
+    let expected = stats.R2c_runtime.Pool.served + stats.R2c_runtime.Pool.dropped in
+    let spans_ok = spans = expected in
+    if not spans_ok then
+      Printf.eprintf "profile: %d request spans but served+dropped = %d\n" spans expected;
+    Printf.printf
+      "pool timeline: %d events (%d request spans = %d served + %d dropped), %d crashes, %d post-mortems\n"
+      (R2c_obs.Events.count events) spans stats.R2c_runtime.Pool.served
+      stats.R2c_runtime.Pool.dropped stats.R2c_runtime.Pool.crashes
+      (R2c_obs.Events.count ~cat:"postmortem" events);
+    if trace <> "" then begin
+      let write path s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      write trace doc;
+      write (trace ^ ".jsonl") (R2c_obs.Events.to_jsonl events);
+      Printf.printf "trace written to %s (+ .jsonl)\n" trace
+    end;
+    if sums && parsed && spans_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-function cycle/icache profile, baseline vs one R2C configuration, plus an \
+          observed worker-pool timeline exported as Chrome trace JSON.")
+    Term.(const run $ workload $ seed $ config $ top $ requests $ trace $ metrics)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -207,5 +305,6 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
-            security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; all_cmd;
+            security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
+            all_cmd;
           ]))

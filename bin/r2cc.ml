@@ -44,7 +44,7 @@ let machine_of_name name =
       | "xeon" -> Cost.xeon_8358
       | other -> failwith ("unknown machine " ^ other))
 
-let run_workload name config machine seed dump emit_ir trace lint =
+let run_workload name config machine seed dump emit_ir trace profiled lint =
   let program =
     (* A path ending in .r2c is compiled from source; otherwise it names a
        bundled workload. *)
@@ -113,6 +113,14 @@ let run_workload name config machine seed dump emit_ir trace lint =
   end
   else begin
     let p = Process.start ~profile img in
+    let prof =
+      if profiled then begin
+        let pr = R2c_obs.Profile.create ~profile img in
+        R2c_obs.Profile.attach pr p.Process.cpu;
+        Some pr
+      end
+      else None
+    in
     match Process.run p with
     | Process.Exited code ->
         Printf.printf "--- output ---\n%s--- end ---\n" (Process.output p);
@@ -122,6 +130,15 @@ let run_workload name config machine seed dump emit_ir trace lint =
         Printf.printf "instructions: %d\ncalls: %d\ncycles: %.0f\nmaxrss: %d KB\n"
           (Process.insns p) (Process.calls p) (Process.cycles p)
           (Process.maxrss_bytes p / 1024);
+        Printf.printf "icache: %d misses / %d accesses; peak call depth: %d\n"
+          (Process.icache_misses p) (Process.icache_accesses p) (Process.max_depth p);
+        (match prof with
+        | Some pr ->
+            print_string
+              (R2c_obs.Profile.report ~top:15
+                 ~title:(Printf.sprintf "%s under %s (seed %d)" name config seed)
+                 pr)
+        | None -> ());
         if code = 0 then 0 else code
     | o ->
         Printf.printf "run failed: %s\n" (Process.outcome_to_string o);
@@ -160,6 +177,12 @@ let () =
   let trace =
     Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Trace execution; print the final instructions.")
   in
+  let profiled =
+    Arg.(
+      value & flag
+      & info [ "p"; "profile" ]
+          ~doc:"Attach the per-step profiler; print the top-functions table after the run.")
+  in
   let lint =
     Arg.(
       value & flag
@@ -173,6 +196,6 @@ let () =
     Cmd.v (Cmd.info "r2cc" ~version:"1.0.0" ~doc)
       Term.(
         const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace
-        $ lint)
+        $ profiled $ lint)
   in
   exit (Cmd.eval' cmd)

@@ -1,5 +1,6 @@
 open R2c_machine
 module Stats = R2c_util.Stats
+module Obs = R2c_obs
 
 type stats = {
   total_cycles : float;
@@ -7,10 +8,21 @@ type stats = {
   calls : int;
   insns : int;
   maxrss_bytes : int;
+  icache_accesses : int;
+  icache_misses : int;
+  peak_depth : int;
 }
 
-let run ?(profile = Cost.epyc_rome) img =
+let run ?(profile = Cost.epyc_rome) ?obs ?(label = "measure") img =
   let p = Process.start ~profile img in
+  let prof =
+    match obs with
+    | None -> None
+    | Some _ ->
+        let pr = Obs.Profile.create ~profile img in
+        Obs.Profile.attach pr p.Process.cpu;
+        Some pr
+  in
   let main_addr = Image.symbol img "main" in
   (match Process.run_until p ~break:[ main_addr ] with
   | `Hit -> ()
@@ -18,12 +30,28 @@ let run ?(profile = Cost.epyc_rome) img =
   let at_main = Process.cycles p in
   match Process.run p with
   | Process.Exited 0 ->
+      (match (obs, prof) with
+      | Some sink, Some pr ->
+          Obs.Sink.add_profile sink label pr;
+          Obs.Profile.publish pr ~prefix:label sink.Obs.Sink.metrics;
+          Obs.Events.complete ~cat:"measure"
+            ~args:
+              [
+                ("insns", string_of_int (Process.insns p));
+                ("icache_misses", string_of_int (Process.icache_misses p));
+              ]
+            sink.Obs.Sink.events ~name:label ~ts:0
+            ~dur:(int_of_float (Process.cycles p))
+      | _ -> ());
       {
         total_cycles = Process.cycles p;
         steady_cycles = Process.cycles p -. at_main;
         calls = Process.calls p;
         insns = Process.insns p;
         maxrss_bytes = Process.maxrss_bytes p;
+        icache_accesses = Process.icache_accesses p;
+        icache_misses = Process.icache_misses p;
+        peak_depth = Process.max_depth p;
       }
   | o -> failwith ("Measure.run: " ^ Process.outcome_to_string o)
 

@@ -7,11 +7,25 @@ type stats = {
   calls : int;
   insns : int;
   maxrss_bytes : int;
+  icache_accesses : int;
+  icache_misses : int;
+  peak_depth : int;  (** deepest simulated call nesting reached *)
 }
 
-(** [run ?profile img] — execute to completion; fails on crash or non-zero
-    exit. *)
-val run : ?profile:R2c_machine.Cost.profile -> R2c_machine.Image.t -> stats
+(** [run ?profile ?obs ?label img] — execute to completion; fails on crash
+    or non-zero exit.
+
+    With [?obs], a {!R2c_obs.Profile} observer rides the whole run: the
+    flat per-function profile is stored in the sink under [label] (default
+    ["measure"]), published into its metrics registry, and the run appears
+    as one span on the event timeline. Without [?obs] the interpreter runs
+    bare and cycle totals are bit-identical to an unobserved run. *)
+val run :
+  ?profile:R2c_machine.Cost.profile ->
+  ?obs:R2c_obs.Sink.t ->
+  ?label:string ->
+  R2c_machine.Image.t ->
+  stats
 
 (** [overhead ?profile ~seeds cfg program] — median over [seeds] of the
     steady-cycle ratio R2C(cfg)/baseline. *)

@@ -17,6 +17,8 @@ type cell = {
 type row = {
   defense : string;
   measured_overhead : float option;
+  icache_miss_pct : float option;
+  peak_depth : int option;
   paper_overhead : string;
   cpp : bool;
   cells : cell list;
@@ -60,8 +62,10 @@ let attacks : (string * (Defenses.t -> seed:int -> Report.t)) list =
 (* A small SPEC subset keeps the overhead column affordable. *)
 let overhead_subset = [ "perlbench"; "mcf"; "omnetpp"; "x264" ]
 
+(* Geomean overhead plus the satellite columns: icache miss rate and peak
+   call depth of the *defended* builds, aggregated over the subset. *)
 let measure_overhead (d : Defenses.t) =
-  let ratios =
+  let measurements =
     List.map
       (fun name ->
         let b = R2c_workloads.Spec.find name in
@@ -69,10 +73,24 @@ let measure_overhead (d : Defenses.t) =
           (Measure.run (R2c_compiler.Driver.compile b.program)).Measure.steady_cycles
         in
         let img = Defenses.build d ~seed:9 ~extra_raw:[] b.program in
-        (Measure.run img).Measure.steady_cycles /. base)
+        let s = Measure.run img in
+        (s.Measure.steady_cycles /. base, s))
       overhead_subset
   in
-  Stats.geomean ratios
+  let ratios = List.map fst measurements in
+  let accesses =
+    List.fold_left (fun a (_, s) -> a + s.Measure.icache_accesses) 0 measurements
+  in
+  let misses =
+    List.fold_left (fun a (_, s) -> a + s.Measure.icache_misses) 0 measurements
+  in
+  let depth =
+    List.fold_left (fun a (_, s) -> max a s.Measure.peak_depth) 0 measurements
+  in
+  let miss_pct =
+    if accesses = 0 then 0.0 else float_of_int misses /. float_of_int accesses
+  in
+  (Stats.geomean ratios, miss_pct, depth)
 
 let run ?(trials = 3) ?(with_overhead = true) () =
   List.map
@@ -91,9 +109,14 @@ let run ?(trials = 3) ?(with_overhead = true) () =
             })
           attacks
       in
+      let measured =
+        if with_overhead then Some (measure_overhead d) else None
+      in
       {
         defense = d.Defenses.name;
-        measured_overhead = (if with_overhead then Some (measure_overhead d) else None);
+        measured_overhead = Option.map (fun (o, _, _) -> o) measured;
+        icache_miss_pct = Option.map (fun (_, m, _) -> m) measured;
+        peak_depth = Option.map (fun (_, _, dep) -> dep) measured;
         paper_overhead = d.Defenses.paper_overhead;
         cpp = d.Defenses.cpp_support;
         cells;
@@ -107,7 +130,7 @@ let glyph c =
 
 let print rows =
   let headers =
-    [ "defense"; "overhead"; "paper"; "C++" ]
+    [ "defense"; "overhead"; "paper"; "icache"; "depth"; "C++" ]
     @ List.map (fun (a, _) -> a) attacks
     @ [ "detections" ]
   in
@@ -123,6 +146,8 @@ let print rows =
            | Some o -> Table.pct (o -. 1.0)
            | None -> "-");
            r.paper_overhead;
+           (match r.icache_miss_pct with Some m -> Table.pct m | None -> "-");
+           (match r.peak_depth with Some d -> string_of_int d | None -> "-");
            (if r.cpp then "yes" else "no");
          ]
          @ List.map glyph r.cells

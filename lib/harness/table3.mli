@@ -18,6 +18,9 @@ type cell = {
 type row = {
   defense : string;
   measured_overhead : float option;  (** geomean on a SPEC subset *)
+  icache_miss_pct : float option;
+      (** defended builds' aggregate icache miss rate on the subset *)
+  peak_depth : int option;  (** deepest call nesting across the subset *)
   paper_overhead : string;
   cpp : bool;
   cells : cell list;

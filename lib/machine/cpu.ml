@@ -1,3 +1,5 @@
+type observer = rip:int -> cycles:float -> misses:int -> called:bool -> unit
+
 type t = {
   mem : Mem.t;
   heap : Heap.t;
@@ -10,6 +12,8 @@ type t = {
   mutable cycles : float;
   mutable insns : int;
   mutable calls : int;
+  mutable depth : int;
+  mutable max_depth : int;
   mutable halted : bool;
   mutable exit_code : int;
   profile : Cost.profile;
@@ -20,6 +24,7 @@ type t = {
   mutable strict_align : bool;
   shadow : int list ref;  (* shadow stack of return addresses (CFI) *)
   inject : Inject.t option;  (* chaos fault injector, if attached *)
+  mutable observer : observer option;  (* per-step hook; None = no cost *)
 }
 
 let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
@@ -36,6 +41,8 @@ let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
       cycles = 0.0;
       insns = 0;
       calls = 0;
+      depth = 0;
+      max_depth = 0;
       halted = false;
       exit_code = 0;
       profile;
@@ -47,6 +54,7 @@ let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
       strict_align;
       shadow = ref [];
       inject;
+      observer = None;
     }
   in
   t.regs.(Insn.reg_index RSP) <- rsp;
@@ -206,6 +214,8 @@ let dispatch_builtin t name =
 
 let do_call t ~target ~next =
   t.calls <- t.calls + 1;
+  t.depth <- t.depth + 1;
+  if t.depth > t.max_depth then t.max_depth <- t.depth;
   let rsp = reg_get t RSP in
   (* Real hardware only crashes on misalignment when an aligned vector
      access hits the stack; strict mode makes every call check — the
@@ -243,10 +253,11 @@ let step_builtin t name =
     shadow_check t ra;
     reg_set t RSP (rsp + 8);
     t.cycles <- t.cycles +. t.profile.Cost.ret;
+    t.depth <- max 0 (t.depth - 1);
     t.rip <- ra
   end
 
-let step t =
+let step_uninstrumented t =
   if t.halted then invalid_arg "Cpu.step: halted";
   (match t.inject with
   | Some inj -> Inject.on_step inj ~mem:t.mem ~rip:t.rip
@@ -331,6 +342,7 @@ let step t =
       let ra = Mem.read_u64 t.mem rsp in
       shadow_check t ra;
       reg_set t RSP (rsp + 8);
+      t.depth <- max 0 (t.depth - 1);
       t.rip <- ra
   | Nop _ -> t.rip <- next
   | Trap -> Fault.raise_fault (Booby_trap { addr = rip })
@@ -381,6 +393,31 @@ let step t =
   | Halt ->
       t.halted <- true;
       t.exit_code <- reg_get t RAX
+
+(* The observation wrapper: with no observer attached, [step] is the bare
+   interpreter — the cycle totals are bit-identical. With one, the hook
+   fires after every retired instruction (and, so post-mortems see the
+   detonating instruction, once more on the faulting one before the fault
+   propagates) with the pre-step rip and this step's cycle/miss deltas. *)
+let step t =
+  match t.observer with
+  | None -> step_uninstrumented t
+  | Some obs ->
+      let rip0 = t.rip in
+      let cycles0 = t.cycles in
+      let misses0 = Icache.misses t.icache in
+      let calls0 = t.calls in
+      let fire ~called =
+        obs ~rip:rip0 ~cycles:(t.cycles -. cycles0)
+          ~misses:(Icache.misses t.icache - misses0) ~called
+      in
+      (match step_uninstrumented t with
+      | () -> fire ~called:(t.calls > calls0)
+      | exception e ->
+          fire ~called:false;
+          raise e)
+
+let set_observer t obs = t.observer <- obs
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 

@@ -11,6 +11,16 @@
     ({!Image.builtin_names}); they model the unprotected glibc of
     Section 7.4.1. *)
 
+(** Per-step observation hook, fired after each retired instruction with
+    the instruction's address ([rip], pre-step), the cycle and icache-miss
+    deltas it charged, and whether it transferred control via call. On a
+    faulting step the hook fires once (with [called:false]) before the
+    fault propagates, so post-mortem rings capture the detonating
+    instruction. When [None] — the default — stepping takes the bare
+    interpreter path and cycle totals are bit-identical to an unobserved
+    run. *)
+type observer = rip:int -> cycles:float -> misses:int -> called:bool -> unit
+
 type t = {
   mem : Mem.t;
   heap : Heap.t;
@@ -23,6 +33,8 @@ type t = {
   mutable cycles : float;
   mutable insns : int;
   mutable calls : int;
+  mutable depth : int;  (** current call depth (calls minus returns) *)
+  mutable max_depth : int;  (** peak call depth over the run *)
   mutable halted : bool;
   mutable exit_code : int;
   profile : Cost.profile;
@@ -42,6 +54,9 @@ type t = {
   inject : Inject.t option;
       (** chaos fault injector; [None] (the default) leaves execution
           untouched *)
+  mutable observer : observer option;
+      (** per-step hook ({!set_observer}); [None] (the default) costs
+          nothing *)
 }
 
 (** [create ?strict_align ?inject ~profile ~mem ~heap image ~rip ~rsp] —
@@ -56,6 +71,11 @@ val reg_set : t -> Insn.reg -> int -> unit
 
 (** [step t] executes one instruction. Raises {!Fault.Fault}. *)
 val step : t -> unit
+
+(** [set_observer t obs] attaches (or, with [None], detaches) the per-step
+    hook. At most one observer is active; attaching replaces the previous
+    one. *)
+val set_observer : t -> observer option -> unit
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 

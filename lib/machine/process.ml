@@ -84,6 +84,9 @@ let outcome_to_string = function
 let cycles t = t.cpu.Cpu.cycles
 let insns t = t.cpu.Cpu.insns
 let calls t = t.cpu.Cpu.calls
+let max_depth t = t.cpu.Cpu.max_depth
+let icache_misses t = Icache.misses t.cpu.Cpu.icache
+let icache_accesses t = Icache.accesses t.cpu.Cpu.icache
 let fuel_left t = t.fuel_left
 let maxrss_bytes t = Mem.max_mapped_pages t.cpu.Cpu.mem * Addr.page_size
 let output t = Cpu.output t.cpu

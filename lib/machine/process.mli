@@ -57,6 +57,16 @@ val cycles : t -> float
 val insns : t -> int
 val calls : t -> int
 
+(** [max_depth t] — peak call depth of the current child (resets with the
+    CPU on {!restart}). *)
+val max_depth : t -> int
+
+(** Cumulative icache counters of the current child. *)
+
+val icache_misses : t -> int
+
+val icache_accesses : t -> int
+
 (** [fuel_left t] — remaining lifetime fuel. *)
 val fuel_left : t -> int
 

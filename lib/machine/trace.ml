@@ -20,8 +20,7 @@ let push t r =
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1
 
-let record_of cpu =
-  let rip = cpu.Cpu.rip in
+let record_at cpu ~rip =
   match Image.code_at cpu.Cpu.image rip with
   | Some (insn, _) ->
       let symbol =
@@ -36,9 +35,17 @@ let record_of cpu =
           Some { rip; insn = Insn.Nop 1; rsp = Cpu.reg_get cpu RSP; symbol = Some ("<" ^ name ^ ">") }
       | None -> None)
 
+let record_of cpu = record_at cpu ~rip:cpu.Cpu.rip
+
 let step t cpu =
   (match record_of cpu with Some r -> push t r | None -> ());
   Cpu.step cpu
+
+let attach t cpu =
+  Cpu.set_observer cpu
+    (Some
+       (fun ~rip ~cycles:_ ~misses:_ ~called:_ ->
+         match record_at cpu ~rip with Some r -> push t r | None -> ()))
 
 let run t cpu ~fuel =
   let rec go budget =

@@ -14,12 +14,19 @@ type t
 (** [create ~capacity] — keeps the last [capacity] records. *)
 val create : capacity:int -> t
 
-(** [attach t cpu] — wrap [cpu]'s stepping: call {!step} instead of
-    {!Cpu.step} to record. *)
+(** [step t cpu] — record the instruction at the current rip, then
+    {!Cpu.step}. Use when the caller drives stepping itself. *)
 val step : t -> Cpu.t -> unit
 
 (** [run t cpu ~fuel] — traced equivalent of {!Cpu.run}. *)
 val run : t -> Cpu.t -> fuel:int -> Cpu.run_result
+
+(** [attach t cpu] — record via the {!Cpu.observer} hook instead of
+    wrapped stepping: every instruction retired through any runner
+    ({!Cpu.run}, {!Process.run}, the pool) lands in the ring, including
+    the faulting instruction of a crash. [rsp] in hook-recorded entries is
+    post-step. Replaces any previously attached observer. *)
+val attach : t -> Cpu.t -> unit
 
 (** [records t] — oldest first. *)
 val records : t -> record list

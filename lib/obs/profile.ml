@@ -1,0 +1,273 @@
+open R2c_machine
+
+type row = {
+  name : string;
+  cycles : float;
+  insns : int;
+  misses : int;
+  calls : int;
+  callsite_cycles : float;
+  prologue_cycles : float;
+  icache_cycles : float;
+}
+
+type acc = {
+  a_name : string;
+  mutable a_cycles : float;
+  mutable a_insns : int;
+  mutable a_misses : int;
+  mutable a_calls : int;
+  mutable a_callsite : float;
+  mutable a_prologue : float;
+  mutable a_icache : float;
+}
+
+type t = {
+  img : Image.t;
+  cost : Cost.profile;
+  (* Compiled functions, ascending by entry: (entry, end, prologue end). *)
+  entries : (int * int * int) array;
+  accs : acc array;  (* one per compiled function, same order as [entries] *)
+  by_name : (string, acc) Hashtbl.t;  (* pseudo-functions: builtins, unknown *)
+  mutable order : acc list;  (* registration order of pseudo accs, newest first *)
+  edges : (string * string, int ref) Hashtbl.t;
+}
+
+let fresh_acc name =
+  {
+    a_name = name;
+    a_cycles = 0.0;
+    a_insns = 0;
+    a_misses = 0;
+    a_calls = 0;
+    a_callsite = 0.0;
+    a_prologue = 0.0;
+    a_icache = 0.0;
+  }
+
+let create ~profile (img : Image.t) =
+  let funcs =
+    List.sort (fun (a : Image.func_info) b -> compare a.entry b.entry) img.Image.funcs
+  in
+  let entries =
+    Array.of_list
+      (List.map
+         (fun (f : Image.func_info) ->
+           let prologue_end =
+             match Hashtbl.find_opt img.Image.symbols (f.fname ^ ".Lprolog") with
+             | Some a when a > f.entry && a <= f.entry + f.code_len -> a
+             | Some _ | None -> f.entry
+           in
+           (f.entry, f.entry + f.code_len, prologue_end))
+         funcs)
+  in
+  let accs =
+    Array.of_list (List.map (fun (f : Image.func_info) -> fresh_acc f.fname) funcs)
+  in
+  {
+    img;
+    cost = profile;
+    entries;
+    accs;
+    by_name = Hashtbl.create 16;
+    order = [];
+    edges = Hashtbl.create 64;
+  }
+
+(* Largest entry <= rip with rip inside the body, by binary search. *)
+let func_index t rip =
+  let n = Array.length t.entries in
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let entry, fin, _ = t.entries.(mid) in
+      if rip < entry then go lo (mid - 1)
+      else if rip >= fin then go (mid + 1) hi
+      else Some mid
+  in
+  go 0 (n - 1)
+
+let pseudo t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some a -> a
+  | None ->
+      let a = fresh_acc name in
+      Hashtbl.replace t.by_name name a;
+      t.order <- a :: t.order;
+      a
+
+let acc_at t rip =
+  match func_index t rip with
+  | Some i -> (Some i, t.accs.(i))
+  | None -> (
+      ( None,
+        match Hashtbl.find_opt t.img.Image.builtin_addrs rip with
+        | Some name -> pseudo t ("<" ^ name ^ ">")
+        | None -> pseudo t "<unknown>" ))
+
+(* The BTRA call-site instrumentation shapes (Figures 3/4) plus the
+   call-site NOPs of Section 4.3. Plain register pushes (stack arguments)
+   and the call itself are ordinary execution — present in the baseline
+   too. *)
+let is_callsite_insn = function
+  | Insn.Push (Insn.Imm _) -> true
+  | Insn.Vload _ | Insn.Vstore _ | Insn.Vload128 _ | Insn.Vstore128 _
+  | Insn.Vload512 _ | Insn.Vstore512 _ | Insn.Vzeroupper -> true
+  | Insn.Nop _ -> true
+  | _ -> false
+
+let record_edge t caller callee =
+  let key = (caller, callee) in
+  match Hashtbl.find_opt t.edges key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.edges key (ref 1)
+
+let name_at t rip =
+  match func_index t rip with
+  | Some i -> t.accs.(i).a_name
+  | None -> (
+      match Hashtbl.find_opt t.img.Image.builtin_addrs rip with
+      | Some name -> "<" ^ name ^ ">"
+      | None -> "<unknown>")
+
+let attach t cpu =
+  Cpu.set_observer cpu
+    (Some
+       (fun ~rip ~cycles ~misses ~called ->
+         let idx, a = acc_at t rip in
+         let icache_c = float_of_int misses *. t.cost.Cost.icache_miss_penalty in
+         let body = cycles -. icache_c in
+         a.a_cycles <- a.a_cycles +. cycles;
+         a.a_insns <- a.a_insns + 1;
+         a.a_misses <- a.a_misses + misses;
+         a.a_icache <- a.a_icache +. icache_c;
+         (let in_prologue =
+            match idx with
+            | Some i ->
+                let entry, _, prologue_end = t.entries.(i) in
+                rip >= entry && rip < prologue_end
+            | None -> false
+          in
+          if in_prologue then a.a_prologue <- a.a_prologue +. body
+          else
+            match Image.code_at t.img rip with
+            | Some (insn, _) when is_callsite_insn insn ->
+                a.a_callsite <- a.a_callsite +. body
+            | Some _ | None -> ());
+         if called then begin
+           let callee_rip = cpu.Cpu.rip in
+           let _, callee = acc_at t callee_rip in
+           callee.a_calls <- callee.a_calls + 1;
+           record_edge t a.a_name (name_at t callee_rip)
+         end))
+
+let detach cpu = Cpu.set_observer cpu None
+
+let row_of (a : acc) =
+  {
+    name = a.a_name;
+    cycles = a.a_cycles;
+    insns = a.a_insns;
+    misses = a.a_misses;
+    calls = a.a_calls;
+    callsite_cycles = a.a_callsite;
+    prologue_cycles = a.a_prologue;
+    icache_cycles = a.a_icache;
+  }
+
+let all_accs t = Array.to_list t.accs @ List.rev t.order
+
+let rows t =
+  all_accs t
+  |> List.filter (fun a -> a.a_insns > 0)
+  |> List.map row_of
+  |> List.sort (fun a b -> compare b.cycles a.cycles)
+
+let total t =
+  List.fold_left
+    (fun acc (r : row) ->
+      {
+        acc with
+        cycles = acc.cycles +. r.cycles;
+        insns = acc.insns + r.insns;
+        misses = acc.misses + r.misses;
+        calls = acc.calls + r.calls;
+        callsite_cycles = acc.callsite_cycles +. r.callsite_cycles;
+        prologue_cycles = acc.prologue_cycles +. r.prologue_cycles;
+        icache_cycles = acc.icache_cycles +. r.icache_cycles;
+      })
+    {
+      name = "total";
+      cycles = 0.0;
+      insns = 0;
+      misses = 0;
+      calls = 0;
+      callsite_cycles = 0.0;
+      prologue_cycles = 0.0;
+      icache_cycles = 0.0;
+    }
+    (rows t)
+
+let edges t =
+  Hashtbl.fold (fun (caller, callee) n acc -> (caller, callee, !n) :: acc) t.edges []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let report ?(top = 15) ?(title = "top functions") t =
+  let buf = Buffer.create 1024 in
+  let tot = total t in
+  let rs = rows t in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s (%d functions, %.0f cycles, %d insns, %d misses) ==\n" title
+       (List.length rs) tot.cycles tot.insns tot.misses);
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %12s %6s %10s %8s %6s %10s %10s %10s\n" "function" "cycles"
+       "cyc%" "insns" "misses" "calls" "callsite" "prologue" "icache");
+  let shown = List.filteri (fun i _ -> i < top) rs in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %12.0f %5.1f%% %10d %8d %6d %10.0f %10.0f %10.0f\n" r.name
+           r.cycles
+           (if tot.cycles > 0.0 then 100.0 *. r.cycles /. tot.cycles else 0.0)
+           r.insns r.misses r.calls r.callsite_cycles r.prologue_cycles r.icache_cycles))
+    shown;
+  let rest = List.filteri (fun i _ -> i >= top) rs in
+  if rest <> [] then begin
+    let rc = List.fold_left (fun a r -> a +. r.cycles) 0.0 rest in
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %12.0f %5.1f%%  (%d more)\n" "..." rc
+         (if tot.cycles > 0.0 then 100.0 *. rc /. tot.cycles else 0.0)
+         (List.length rest))
+  end;
+  let es = edges t in
+  if es <> [] then begin
+    Buffer.add_string buf "hot call edges:\n";
+    List.iteri
+      (fun i (caller, callee, n) ->
+        if i < top then
+          Buffer.add_string buf (Printf.sprintf "  %-26s -> %-26s %8d\n" caller callee n))
+      es
+  end;
+  Buffer.contents buf
+
+let sanitize_name s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    s
+
+let publish t ~prefix metrics =
+  let p = sanitize_name prefix in
+  let tot = total t in
+  let c name help v =
+    Metrics.set_counter (Metrics.counter ~help metrics (p ^ name)) v
+  in
+  c "_cycles_total" "cycles attributed by the profiler" (int_of_float tot.cycles);
+  c "_insns_total" "instructions retired" tot.insns;
+  c "_icache_misses_total" "icache misses" tot.misses;
+  c "_calls_total" "call entries" tot.calls;
+  let h =
+    Metrics.histogram ~help:"per-function cycle totals" metrics (p ^ "_function_cycles")
+  in
+  List.iter (fun (r : row) -> Metrics.observe h (int_of_float r.cycles)) (rows t)

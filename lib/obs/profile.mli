@@ -1,0 +1,68 @@
+(** Cycle / instruction / icache profiler, driven by the {!Cpu.observer}
+    per-step hook.
+
+    Attributes every retired instruction's cycle and icache-miss deltas to
+    the covering function (via the image's defender-side symbol metadata),
+    builds a flat profile plus a caller→callee edge profile, and splits
+    each function's cycles into the components the paper's evaluation
+    attributes diversification overhead to (Sections 6.1–6.3):
+
+    - {b call-site} — BTRA setup shapes: immediate pushes, vector
+      loads/stores of decoy batches, [vzeroupper], and the call-site NOPs
+      of Section 4.3;
+    - {b prologue} — instructions inside the trap-padded prologue region
+      ([entry ..] the compiler's [<f>.Lprolog] label);
+    - {b icache} — miss-penalty cycles, wherever charged;
+    - the remainder is ordinary execution ({b other}).
+
+    The split is exactly additive: the four components of a row sum to the
+    row's cycles, and row sums equal the CPU's own totals. Intercepted
+    library entries appear as ["<name>"] pseudo-functions. *)
+
+open R2c_machine
+
+type row = {
+  name : string;
+  cycles : float;
+  insns : int;
+  misses : int;  (** icache misses charged while executing this function *)
+  calls : int;  (** times entered via a call instruction *)
+  callsite_cycles : float;
+  prologue_cycles : float;
+  icache_cycles : float;
+}
+
+type t
+
+(** [create ~profile img] — a profiler for one image; attach it to any
+    number of CPUs running that image (accumulates across them). *)
+val create : profile:Cost.profile -> Image.t -> t
+
+(** [attach t cpu] — install the profiling observer (replacing any other
+    observer on [cpu]). *)
+val attach : t -> Cpu.t -> unit
+
+(** [detach cpu] — remove whatever observer is installed. *)
+val detach : Cpu.t -> unit
+
+(** [rows t] — per-function rows, descending by cycles; only functions
+    that executed at least one instruction appear. *)
+val rows : t -> row list
+
+(** [total t] — the column sums as one row (name ["total"]). By
+    construction equals the observed CPUs' own cycle/insn/miss totals. *)
+val total : t -> row
+
+(** [edges t] — (caller, callee, count) call edges, descending by
+    count. *)
+val edges : t -> (string * string * int) list
+
+(** [report ?top ?title t] — ASCII "top functions" table plus the hottest
+    call edges. *)
+val report : ?top:int -> ?title:string -> t -> string
+
+(** [publish t ~prefix metrics] — counters ([<prefix>_cycles_total],
+    [_insns_total], [_icache_misses_total], [_calls_total]) and a
+    per-function-cycles histogram into a registry. [prefix] is sanitized
+    to a valid metric name. *)
+val publish : t -> prefix:string -> Metrics.t -> unit

@@ -1,6 +1,7 @@
 open R2c_machine
 module Rng = R2c_util.Rng
 module Mvee = R2c_defenses.Mvee
+module Obs = R2c_obs
 
 type config = {
   workers : int;
@@ -88,7 +89,24 @@ type worker = {
   mutable at_break : bool;
   mutable served_this_child : int;
   mutable down_until : int;
+  mutable ring : Trace.t option;  (* post-mortem ring, when observed *)
 }
+
+(* Live metric instruments, registered once per observed pool. *)
+type instruments = {
+  i_requests : Obs.Metrics.counter;
+  i_served : Obs.Metrics.counter;
+  i_dropped : Obs.Metrics.counter;
+  i_crashes : Obs.Metrics.counter;
+  i_detections : Obs.Metrics.counter;
+  i_timeouts : Obs.Metrics.counter;
+  i_restarts : Obs.Metrics.counter;
+  i_rerand : Obs.Metrics.counter;
+  i_clock : Obs.Metrics.gauge;
+  i_request_cycles : Obs.Metrics.histogram;
+}
+
+type postmortem = { pm_clock : int; pm_wid : int; pm_fault : string; pm_tail : string }
 
 type t = {
   cfg : config;
@@ -102,14 +120,101 @@ type t = {
   mutable escalated : bool;
   mutable mvee_images : Image.t list;
   mutable sensitive : (int * int) list;
+  mutable obs : Obs.Sink.t option;
+  mutable instruments : instruments option;
+  mutable postmortems : postmortem list;  (* newest first, capped *)
 }
+
+(* Post-mortems kept per run: only the last K crashes stay resident, so a
+   chaos campaign with thousands of crashes stays bounded. *)
+let max_postmortems = 8
+
+let ring_capacity = 32
+
+let ev t f = match t.obs with None -> () | Some sink -> f sink
+
+(* A fresh ring per child: records from a previous incarnation must not
+   leak into the next crash's post-mortem. *)
+let observe_worker t w =
+  match t.obs with
+  | None -> ()
+  | Some _ ->
+      let ring = Trace.create ~capacity:ring_capacity in
+      w.ring <- Some ring;
+      Trace.attach ring w.proc.Process.cpu
+
+let register_instruments (sink : Obs.Sink.t) =
+  let m = sink.Obs.Sink.metrics in
+  let c name help = Obs.Metrics.counter ~help m name in
+  {
+    i_requests = c "pool_requests_total" "requests submitted to the pool";
+    i_served = c "pool_served_total" "requests served";
+    i_dropped = c "pool_dropped_total" "requests rejected or dropped";
+    i_crashes = c "pool_crashes_total" "worker crashes";
+    i_detections = c "pool_detections_total" "crashes flagged as attack detections";
+    i_timeouts = c "pool_timeouts_total" "request timeouts";
+    i_restarts = c "pool_restarts_total" "worker restarts";
+    i_rerand = c "pool_rerandomizations_total" "worker rerandomizations";
+    i_clock =
+      Obs.Metrics.gauge ~help:"simulated pool clock (cycles)" m "pool_clock_cycles";
+    i_request_cycles =
+      Obs.Metrics.histogram ~help:"per-request service cycles" m "pool_request_cycles";
+  }
+
+let sync_metrics t =
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+      let s = t.stats in
+      Obs.Metrics.set_counter i.i_requests (s.served + s.dropped);
+      Obs.Metrics.set_counter i.i_served s.served;
+      Obs.Metrics.set_counter i.i_dropped s.dropped;
+      Obs.Metrics.set_counter i.i_crashes s.crashes;
+      Obs.Metrics.set_counter i.i_detections s.detections;
+      Obs.Metrics.set_counter i.i_timeouts s.timeouts;
+      Obs.Metrics.set_counter i.i_restarts s.restarts;
+      Obs.Metrics.set_counter i.i_rerand s.rerandomizations;
+      Obs.Metrics.set_gauge i.i_clock (float_of_int t.clock)
+
+let set_obs t sink =
+  let already = match t.obs with Some s -> s == sink | None -> false in
+  if not already then begin
+    t.obs <- Some sink;
+    t.instruments <- Some (register_instruments sink);
+    Array.iter (fun w -> observe_worker t w) t.workers
+  end
+
+(* Snapshot the dying child's ring before the respawn path replaces its
+   CPU; the tail also lands in the event timeline so a Chrome trace
+   carries the post-mortem inline. *)
+let capture_postmortem t w f =
+  match (t.obs, w.ring) with
+  | Some sink, Some ring ->
+      let tail = Trace.pp_tail ring ~n:16 in
+      t.postmortems <-
+        {
+          pm_clock = t.clock;
+          pm_wid = w.wid;
+          pm_fault = Fault.to_string f;
+          pm_tail = tail;
+        }
+        :: List.filteri (fun i _ -> i < max_postmortems - 1) t.postmortems;
+      Obs.Events.instant ~cat:"postmortem" ~tid:(w.wid + 1)
+        ~args:
+          [
+            ("wid", string_of_int w.wid);
+            ("fault", Fault.to_string f);
+            ("tail", tail);
+          ]
+        sink.Obs.Sink.events ~name:"postmortem" ~ts:t.clock
+  | _ -> ()
 
 let break_addr_of img sym =
   match Hashtbl.find_opt img.Image.symbols sym with
   | Some a -> a
   | None -> invalid_arg ("Pool: no breakpoint symbol " ^ sym)
 
-let create ?(cfg = default_config) ~build ~break_sym () =
+let create ?(cfg = default_config) ?obs ~build ~break_sym () =
   if cfg.workers <= 0 then invalid_arg "Pool.create: need at least one worker";
   let rng = Rng.create cfg.seed in
   (* All workers start as forks of one parent image — the pre-fork server
@@ -136,40 +241,53 @@ let create ?(cfg = default_config) ~build ~break_sym () =
           at_break = false;
           served_this_child = 0;
           down_until = 0;
+          ring = None;
         })
   in
-  {
-    cfg;
-    build;
-    break_sym;
-    rng;
-    workers;
-    stats = fresh_stats ();
-    clock = 0;
-    rr = 0;
-    escalated = false;
-    mvee_images = [];
-    sensitive = [];
-  }
+  let t =
+    {
+      cfg;
+      build;
+      break_sym;
+      rng;
+      workers;
+      stats = fresh_stats ();
+      clock = 0;
+      rr = 0;
+      escalated = false;
+      mvee_images = [];
+      sensitive = [];
+      obs = None;
+      instruments = None;
+      postmortems = [];
+    }
+  in
+  (match obs with None -> () | Some sink -> set_obs t sink);
+  t
 
 let fresh_seed t = Rng.int t.rng 0x3fff_ffff
 
 let collect_sensitive t w = t.sensitive <- Process.sensitive_log w.proc @ t.sensitive
 
-let take_down t w delay =
+let take_down ?(kind = "restart") t w delay =
   w.at_break <- false;
   w.served_this_child <- 0;
   w.down_until <- t.clock + delay;
   t.stats.recovery_cycles <- t.stats.recovery_cycles + delay;
   t.stats.recoveries <- t.stats.recoveries + 1;
-  t.stats.restarts <- t.stats.restarts + 1
+  t.stats.restarts <- t.stats.restarts + 1;
+  ev t (fun sink ->
+      Obs.Events.complete ~cat:"respawn" ~tid:(w.wid + 1)
+        ~args:[ ("kind", kind); ("wid", string_of_int w.wid) ]
+        sink.Obs.Sink.events ~name:kind ~ts:t.clock ~dur:delay)
 
 let rerandomize_worker t w =
   collect_sensitive t w;
   let img = t.build ~seed:(fresh_seed t) in
   w.proc <- Process.start ?inject:w.inject ~fuel:t.cfg.worker_fuel img;
   w.break_addr <- break_addr_of img t.break_sym;
-  t.stats.rerandomizations <- t.stats.rerandomizations + 1
+  t.stats.rerandomizations <- t.stats.rerandomizations + 1;
+  observe_worker t w
 
 (* How a crashed worker comes back, given the policy and the escalation
    state. *)
@@ -191,6 +309,15 @@ let maybe_escalate t ~crashed =
     when (not t.escalated) && t.stats.detections >= t.cfg.detection_threshold ->
       t.escalated <- true;
       t.stats.first_response <- Some t.clock;
+      ev t (fun sink ->
+          let mode =
+            match esc with
+            | Policy.Escalate_rerandomize -> "rerandomize"
+            | Policy.Escalate_mvee _ -> "mvee"
+          in
+          Obs.Events.instant ~cat:"escalation"
+            ~args:[ ("mode", mode); ("detections", string_of_int t.stats.detections) ]
+            sink.Obs.Sink.events ~name:"escalate" ~ts:t.clock);
       (match esc with
       | Policy.Escalate_rerandomize ->
           let k = ref 0 in
@@ -198,7 +325,7 @@ let maybe_escalate t ~crashed =
             (fun w ->
               if w.wid <> crashed then begin
                 rerandomize_worker t w;
-                take_down t w (t.cfg.rerandomize_cycles * (!k + 1));
+                take_down ~kind:"rerandomize" t w (t.cfg.rerandomize_cycles * (!k + 1));
                 incr k
               end)
             t.workers
@@ -209,26 +336,38 @@ let maybe_escalate t ~crashed =
 
 let handle_crash t w f =
   t.stats.crashes <- t.stats.crashes + 1;
+  capture_postmortem t w f;
+  ev t (fun sink ->
+      Obs.Events.instant ~cat:"crash" ~tid:(w.wid + 1)
+        ~args:[ ("fault", Fault.to_string f); ("wid", string_of_int w.wid) ]
+        sink.Obs.Sink.events ~name:"crash" ~ts:t.clock);
   if Fault.is_detection f then begin
     t.stats.detections <- t.stats.detections + 1;
-    if t.stats.first_detection = None then t.stats.first_detection <- Some t.clock
+    if t.stats.first_detection = None then t.stats.first_detection <- Some t.clock;
+    ev t (fun sink ->
+        Obs.Events.instant ~cat:"detection" ~tid:(w.wid + 1)
+          ~args:[ ("fault", Fault.to_string f); ("wid", string_of_int w.wid) ]
+          sink.Obs.Sink.events ~name:"detection" ~ts:t.clock)
   end;
   maybe_escalate t ~crashed:w.wid;
   match respawn_mode t with
   | `Same ->
       collect_sensitive t w;
       Process.restart w.proc;
+      observe_worker t w;
       take_down t w t.cfg.restart_cycles
   | `Rerand ->
       rerandomize_worker t w;
-      take_down t w t.cfg.rerandomize_cycles
+      take_down ~kind:"rerandomize" t w t.cfg.rerandomize_cycles
   | `Backoff _ ->
       collect_sensitive t w;
       Process.restart w.proc;
+      observe_worker t w;
       let tripped = Policy.Backoff_state.record_crash w.backoff ~now:t.clock in
       if tripped then begin
         t.stats.quarantines <- t.stats.quarantines + 1;
-        take_down t w (Policy.Backoff_state.quarantined_until w.backoff - t.clock)
+        take_down ~kind:"quarantine" t w
+          (Policy.Backoff_state.quarantined_until w.backoff - t.clock)
       end
       else
         take_down t w (t.cfg.restart_cycles + Policy.Backoff_state.next_delay w.backoff)
@@ -237,6 +376,7 @@ let handle_timeout t w =
   t.stats.timeouts <- t.stats.timeouts + 1;
   collect_sensitive t w;
   Process.restart w.proc;
+  observe_worker t w;
   take_down t w t.cfg.restart_cycles
 
 (* Graceful child rotation (MaxRequestsPerChild): a spare replaces the
@@ -244,10 +384,15 @@ let handle_timeout t w =
 let recycle t w =
   collect_sensitive t w;
   Process.restart w.proc;
+  observe_worker t w;
   w.at_break <- false;
   w.served_this_child <- 0;
   w.down_until <- t.clock + t.cfg.spawn_cycles;
-  t.stats.recycles <- t.stats.recycles + 1
+  t.stats.recycles <- t.stats.recycles + 1;
+  ev t (fun sink ->
+      Obs.Events.complete ~cat:"respawn" ~tid:(w.wid + 1)
+        ~args:[ ("kind", "recycle"); ("wid", string_of_int w.wid) ]
+        sink.Obs.Sink.events ~name:"recycle" ~ts:t.clock ~dur:t.cfg.spawn_cycles)
 
 let pick_worker t ~skip =
   let n = Array.length t.workers in
@@ -373,35 +518,88 @@ let serve_mvee t payload =
       t.stats.dropped <- t.stats.dropped + 1;
       Rejected { reason = "mvee: lockstep divergence"; lines = 0 }
 
+(* Exactly one request span per [submit] — served, rejected or dropped —
+   so a trace's request-span count always equals [served + dropped]. *)
+let finish_request t ~ts0 resp =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+      let name, args =
+        match resp with
+        | Served { cycles; lines } ->
+            ( "served",
+              [
+                ("outcome", "served");
+                ("cycles", string_of_int cycles);
+                ("lines", string_of_int lines);
+              ] )
+        | Rejected { reason; lines } ->
+            ( "rejected",
+              [
+                ("outcome", "rejected");
+                ("reason", reason);
+                ("lines", string_of_int lines);
+              ] )
+        | Dropped -> ("dropped", [ ("outcome", "dropped") ])
+      in
+      Obs.Events.complete ~cat:"request" ~args sink.Obs.Sink.events ~name ~ts:ts0
+        ~dur:(t.clock - ts0);
+      (match (t.instruments, resp) with
+      | Some i, Served { cycles; _ } -> Obs.Metrics.observe i.i_request_cycles cycles
+      | _ -> ());
+      sync_metrics t
+
 let submit ?retries t payload =
   let max_retries = match retries with Some r -> r | None -> t.cfg.max_retries in
   t.clock <- t.clock + t.cfg.arrival_cycles;
-  if t.mvee_images <> [] then serve_mvee t payload
-  else
-    let rec attempt n skip =
-      match pick_worker t ~skip with
-      | None ->
-          (* Shed load: better a fast 503 than a connection queue that
-             crash-loops the fleet. *)
-          t.stats.dropped <- t.stats.dropped + 1;
-          if n = 0 then t.stats.shed <- t.stats.shed + 1;
-          Dropped
-      | Some w -> (
-          match serve_on t w payload with
-          | `Ok (cycles, lines) ->
-              t.stats.served <- t.stats.served + 1;
-              Served { cycles; lines }
-          | `Fail (reason, lines) ->
-              if n < max_retries then begin
-                t.stats.retried <- t.stats.retried + 1;
-                attempt (n + 1) (w.wid :: skip)
-              end
-              else begin
-                t.stats.dropped <- t.stats.dropped + 1;
-                Rejected { reason; lines }
-              end)
-    in
-    attempt 0 []
+  let ts0 = t.clock in
+  let resp =
+    if t.mvee_images <> [] then serve_mvee t payload
+    else
+      let rec attempt n skip =
+        match pick_worker t ~skip with
+        | None ->
+            (* Shed load: better a fast 503 than a connection queue that
+               crash-loops the fleet. *)
+            t.stats.dropped <- t.stats.dropped + 1;
+            if n = 0 then t.stats.shed <- t.stats.shed + 1;
+            Dropped
+        | Some w -> (
+            let ts_a = t.clock in
+            let r = serve_on t w payload in
+            ev t (fun sink ->
+                let outcome =
+                  match r with `Ok _ -> "ok" | `Fail (reason, _) -> reason
+                in
+                Obs.Events.complete ~cat:"attempt" ~tid:(w.wid + 1)
+                  ~args:[ ("wid", string_of_int w.wid); ("outcome", outcome) ]
+                  sink.Obs.Sink.events ~name:"serve" ~ts:ts_a ~dur:(t.clock - ts_a));
+            match r with
+            | `Ok (cycles, lines) ->
+                t.stats.served <- t.stats.served + 1;
+                Served { cycles; lines }
+            | `Fail (reason, lines) ->
+                if n < max_retries then begin
+                  t.stats.retried <- t.stats.retried + 1;
+                  attempt (n + 1) (w.wid :: skip)
+                end
+                else begin
+                  t.stats.dropped <- t.stats.dropped + 1;
+                  Rejected { reason; lines }
+                end)
+      in
+      attempt 0 []
+  in
+  finish_request t ~ts0 resp;
+  resp
+
+(* Replay a whole request list through [submit], opting into observation
+   first so worker rings and instruments are live from the first request. *)
+let run ?obs t payloads =
+  (match obs with None -> () | Some sink -> set_obs t sink);
+  List.map (fun p -> submit t p) payloads
+
+let postmortems t = List.rev t.postmortems
 
 let stats t = t.stats
 let clock t = t.clock

@@ -64,19 +64,55 @@ type response =
 
 type t
 
-(** [create ?cfg ~build ~break_sym ()] — [build ~seed] compiles one worker
-    image; [break_sym] names the per-request serving point every worker
-    parks at between requests (the request-accept loop). All workers start
-    from a single [build ~seed:cfg.seed] image — the fork model. *)
+(** A crash post-mortem: the last instructions the dying child executed,
+    captured from its per-worker trace ring at the moment of the fault.
+    Only kept when the pool is observed; bounded to the last few crashes. *)
+type postmortem = {
+  pm_clock : int;  (** pool clock at the crash *)
+  pm_wid : int;
+  pm_fault : string;
+  pm_tail : string;  (** {!R2c_machine.Trace.pp_tail} of the child's ring *)
+}
+
+(** [create ?cfg ?obs ~build ~break_sym ()] — [build ~seed] compiles one
+    worker image; [break_sym] names the per-request serving point every
+    worker parks at between requests (the request-accept loop). All workers
+    start from a single [build ~seed:cfg.seed] image — the fork model.
+
+    With [?obs], the pool streams its lifecycle into the sink: request /
+    attempt / respawn spans and crash / detection / escalation /
+    post-mortem instants on the event timeline (dispatcher is thread 0,
+    worker [w] is thread [w+1], timestamps are pool-clock cycles), plus
+    [pool_*] counters, a clock gauge and a request-cycles histogram in the
+    metrics registry. Each worker also gets a small trace ring for crash
+    post-mortems. Without [?obs] none of this exists — the serving path is
+    the bare interpreter. *)
 val create :
-  ?cfg:config -> build:(seed:int -> R2c_machine.Image.t) -> break_sym:string -> unit -> t
+  ?cfg:config ->
+  ?obs:R2c_obs.Sink.t ->
+  build:(seed:int -> R2c_machine.Image.t) ->
+  break_sym:string ->
+  unit ->
+  t
 
 (** [submit ?retries t payload] — advance the clock one arrival and serve
     [payload] on the next available worker, retrying on others on failure
     ([?retries] overrides [cfg.max_retries]; attack probes pass
     [~retries:0]). Once a Reactive pool has escalated to MVEE, every
-    request is served in lockstep instead. *)
+    request is served in lockstep instead.
+
+    When observed, every [submit] records exactly one request span —
+    served, rejected or dropped — so a trace's request-span count equals
+    [stats.served + stats.dropped]. *)
 val submit : ?retries:int -> t -> string -> response
+
+(** [run ?obs t payloads] — submit each payload in order and collect the
+    responses. [?obs] attaches a sink first (equivalent to passing it at
+    {!create}), so existing harnesses can opt into observation per run. *)
+val run : ?obs:R2c_obs.Sink.t -> t -> string list -> response list
+
+(** [postmortems t] — captured crash post-mortems, oldest first. *)
+val postmortems : t -> postmortem list
 
 val stats : t -> stats
 val clock : t -> int

@@ -1,0 +1,272 @@
+(* Observability layer: JSON printer/parser, metrics histograms, the trace
+   ring under the observer hook, profiler attribution, zero-cost-when-off,
+   and the pool timeline's span invariant. *)
+
+open R2c_machine
+module Obs = R2c_obs
+module Json = R2c_obs.Json
+module Metrics = R2c_obs.Metrics
+module Events = R2c_obs.Events
+module Profile = R2c_obs.Profile
+module Measure = R2c_harness.Measure
+module Prof = R2c_harness.Prof
+
+(* --- JSON --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Str "line\nbreak \"quoted\" \x01");
+        ("c", Json.Arr [ Json.Bool true; Json.Null; Json.Float 1.5 ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check string) "roundtrip" (Json.to_string v) (Json.to_string v')
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+
+let test_json_rejects_garbage () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ s)
+      | Error _ -> ())
+    bad
+
+(* --- metrics --- *)
+
+let test_bucket_boundaries () =
+  (* bucket 0 holds v <= 1; bucket i >= 1 holds (2^(i-1), 2^i]. *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    [ (0, 0); (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (1024, 10); (1025, 11) ];
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "bound %d" i)
+        (1 lsl i)
+        (Metrics.bucket_bound i);
+      (* boundary values land in their own bucket, one past spills over *)
+      Alcotest.(check int) "on boundary" i (Metrics.bucket_of (1 lsl i));
+      Alcotest.(check int) "past boundary" (i + 1) (Metrics.bucket_of ((1 lsl i) + 1)))
+    [ 1; 2; 5; 10; 20 ]
+
+let test_percentile () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  Alcotest.(check int) "empty" 0 (Metrics.percentile h 50.0);
+  List.iter (Metrics.observe h) [ 1; 2; 4; 8 ];
+  (* nearest-rank over buckets: ranks 1..4 sit in buckets 0,1,2,3 *)
+  Alcotest.(check int) "p25" 1 (Metrics.percentile h 25.0);
+  Alcotest.(check int) "p50" 2 (Metrics.percentile h 50.0);
+  Alcotest.(check int) "p75" 4 (Metrics.percentile h 75.0);
+  Alcotest.(check int) "p100" 8 (Metrics.percentile h 100.0);
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 0.001)) "sum" 15.0 (Metrics.hist_sum h)
+
+let test_registry_exposition () =
+  let m = Metrics.create () in
+  let c = Metrics.counter ~help:"requests" m "reqs_total" in
+  Metrics.inc ~by:3 c;
+  let g = Metrics.gauge m "depth" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram m "sizes" in
+  Metrics.observe h 3;
+  let text = Metrics.expose m in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true (contains needle))
+    [ "# TYPE reqs_total counter"; "reqs_total 3"; "depth 2.5"; "sizes_count 1" ];
+  (* idempotent re-registration, kind mismatch rejected *)
+  Metrics.inc (Metrics.counter m "reqs_total");
+  Alcotest.(check int) "re-registered" 4 (Metrics.counter_value c);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.gauge: reqs_total registered as another kind")
+    (fun () -> ignore (Metrics.gauge m "reqs_total"));
+  match Json.parse (Json.to_string (Metrics.to_json m)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("metrics json: " ^ e)
+
+(* --- trace ring via the observer hook --- *)
+
+let traced_records ~capacity img =
+  let p = Process.start img in
+  let ring = Trace.create ~capacity in
+  Trace.attach ring p.Process.cpu;
+  match Process.run p with
+  | Process.Exited 0 -> (Trace.records ring, Process.insns p)
+  | o -> Alcotest.fail ("run failed: " ^ Process.outcome_to_string o)
+
+let test_ring_wraparound_exact_capacity () =
+  let img = R2c_compiler.Driver.compile (Samples.loop_prog 4) in
+  let all, insns = traced_records ~capacity:1_000_000 img in
+  Alcotest.(check int) "hook saw every insn" insns (List.length all);
+  (* capacity == records written: nothing dropped, order intact *)
+  let exact, _ = traced_records ~capacity:insns img in
+  Alcotest.(check int) "exact capacity keeps all" insns (List.length exact);
+  Alcotest.(check bool) "same records" true (exact = all);
+  (* one below capacity: exactly the oldest record falls off *)
+  let short, _ = traced_records ~capacity:(insns - 1) img in
+  Alcotest.(check int) "one dropped" (insns - 1) (List.length short);
+  Alcotest.(check bool) "tail preserved" true (short = List.tl all)
+
+(* --- profiler attribution --- *)
+
+let test_profiler_two_functions () =
+  let profile = Cost.epyc_rome in
+  let img = R2c_compiler.Driver.compile (Samples.fib_prog 10) in
+  let pr = Profile.create ~profile img in
+  let p = Process.start ~profile img in
+  Profile.attach pr p.Process.cpu;
+  (match Process.run p with
+  | Process.Exited 0 -> ()
+  | o -> Alcotest.fail (Process.outcome_to_string o));
+  let rows = Profile.rows pr in
+  let row name =
+    match List.find_opt (fun (r : Profile.row) -> r.Profile.name = name) rows with
+    | Some r -> r
+    | None -> Alcotest.fail ("no profile row for " ^ name)
+  in
+  let fib = row "fib" and main = row "main" in
+  Alcotest.(check bool) "fib hot" true (fib.Profile.cycles > main.Profile.cycles);
+  (* exact call attribution: main calls fib once; every other fib entry is
+     the recursion. fib(10) makes 177 calls in total. *)
+  let edge a b =
+    match
+      List.find_opt (fun (x, y, _) -> x = a && y = b) (Profile.edges pr)
+    with
+    | Some (_, _, n) -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "main->fib edge" 1 (edge "main" "fib");
+  Alcotest.(check int) "fib calls" 177 fib.Profile.calls;
+  Alcotest.(check int) "fib->fib edge" 176 (edge "fib" "fib");
+  (* column sums reproduce the CPU's own counters *)
+  let t = Profile.total pr in
+  Alcotest.(check int) "insns sum" (Process.insns p) t.Profile.insns;
+  Alcotest.(check int) "miss sum" (Process.icache_misses p) t.Profile.misses;
+  let cpu_cycles = Process.cycles p in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles sum (%.1f vs %.1f)" t.Profile.cycles cpu_cycles)
+    true
+    (abs_float (t.Profile.cycles -. cpu_cycles) /. cpu_cycles < 0.001);
+  (* the split is additive per row *)
+  List.iter
+    (fun (r : Profile.row) ->
+      Alcotest.(check bool)
+        (r.Profile.name ^ " split additive")
+        true
+        (r.Profile.callsite_cycles +. r.Profile.prologue_cycles
+         +. r.Profile.icache_cycles
+        <= r.Profile.cycles +. 1e-6))
+    rows
+
+let test_profiler_diversified_sums () =
+  let r = Prof.run ~seed:5 ~workload:"mcf" () in
+  Alcotest.(check bool) "sums within 1% on both sides" true (Prof.sums_ok r);
+  (* diversification must show up in the split: BTRA setup at call sites
+     and trap-padded prologues cost cycles the baseline doesn't pay *)
+  let tot = Profile.total r.Prof.r2c.Prof.prof in
+  Alcotest.(check bool) "callsite overhead attributed" true (tot.Profile.callsite_cycles > 0.0);
+  Alcotest.(check bool) "prologue overhead attributed" true (tot.Profile.prologue_cycles > 0.0)
+
+(* --- zero-cost when off: bit-identical cycles --- *)
+
+let test_unobserved_bit_identical () =
+  let img = R2c_compiler.Driver.compile (Samples.loop_prog 6) in
+  let bare = Measure.run img in
+  let sink = Obs.Sink.create () in
+  let observed = Measure.run ~obs:sink ~label:"loop" img in
+  Alcotest.(check bool) "cycles bit-identical" true
+    (bare.Measure.total_cycles = observed.Measure.total_cycles);
+  Alcotest.(check int) "insns equal" bare.Measure.insns observed.Measure.insns;
+  Alcotest.(check int) "misses equal" bare.Measure.icache_misses
+    observed.Measure.icache_misses;
+  Alcotest.(check bool) "profile stored" true (Obs.Sink.profile sink "loop" <> None)
+
+(* --- measure stats extension --- *)
+
+let test_measure_depth_and_icache () =
+  let s = Measure.run (R2c_compiler.Driver.compile (Samples.fib_prog 8)) in
+  (* recursion depth: fib(8) nests 8 deep below main *)
+  Alcotest.(check bool) "peak depth sees recursion" true (s.Measure.peak_depth >= 8);
+  Alcotest.(check bool) "icache accessed" true (s.Measure.icache_accesses > 0);
+  Alcotest.(check bool) "misses bounded by accesses" true
+    (s.Measure.icache_misses <= s.Measure.icache_accesses)
+
+(* --- pool timeline --- *)
+
+let test_pool_span_invariant () =
+  let sink, stats = Prof.pool_timeline ~requests:40 ~seed:7 () in
+  let events = sink.Obs.Sink.events in
+  let spans = Events.count ~cat:"request" events in
+  Alcotest.(check int) "one span per submit"
+    (stats.R2c_runtime.Pool.served + stats.R2c_runtime.Pool.dropped)
+    spans;
+  Alcotest.(check int) "crash instants" stats.R2c_runtime.Pool.crashes
+    (Events.count ~cat:"crash" events);
+  (* the mixed stream must actually exercise the crash path *)
+  Alcotest.(check bool) "stream crashes" true (stats.R2c_runtime.Pool.crashes > 0);
+  (* every post-mortem instant carries a non-empty tail of the dying
+     child's last instructions *)
+  let pms =
+    List.filter (fun (e : Events.event) -> e.Events.cat = "postmortem") (Events.events events)
+  in
+  Alcotest.(check bool) "post-mortems captured" true (pms <> []);
+  List.iter
+    (fun (e : Events.event) ->
+      match List.assoc_opt "tail" e.Events.args with
+      | Some tail -> Alcotest.(check bool) "tail non-empty" true (String.length tail > 0)
+      | None -> Alcotest.fail "post-mortem without tail")
+    pms;
+  (* Chrome export is valid JSON *)
+  (match Json.parse (Events.to_chrome events) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome trace: " ^ e));
+  (* JSONL: every line parses *)
+  String.split_on_char '\n' (Events.to_jsonl events)
+  |> List.iter (fun line ->
+         if line <> "" then
+           match Json.parse line with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail ("jsonl line: " ^ e))
+
+let test_events_bounded () =
+  let t = Events.create ~limit:5 () in
+  for i = 1 to 9 do
+    Events.instant t ~name:"e" ~ts:i
+  done;
+  Alcotest.(check int) "kept" 5 (Events.count t);
+  Alcotest.(check int) "dropped counted" 4 (Events.dropped t)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+        Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_boundaries;
+        Alcotest.test_case "percentile extraction" `Quick test_percentile;
+        Alcotest.test_case "registry exposition" `Quick test_registry_exposition;
+        Alcotest.test_case "ring wraparound at exact capacity" `Quick
+          test_ring_wraparound_exact_capacity;
+        Alcotest.test_case "profiler two-function attribution" `Quick
+          test_profiler_two_functions;
+        Alcotest.test_case "profiler sums on diversified build" `Slow
+          test_profiler_diversified_sums;
+        Alcotest.test_case "unobserved run bit-identical" `Quick
+          test_unobserved_bit_identical;
+        Alcotest.test_case "measure depth and icache stats" `Quick
+          test_measure_depth_and_icache;
+        Alcotest.test_case "pool span invariant + exports" `Slow test_pool_span_invariant;
+        Alcotest.test_case "event timeline bounded" `Quick test_events_bounded;
+      ] );
+  ]
