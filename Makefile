@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench audit profile
+.PHONY: all build test check clean examples bench audit profile fuzz
 
 all: build
 
@@ -23,7 +23,14 @@ audit:
 profile:
 	dune exec bin/experiments.exe -- profile mcf --trace /tmp/r2c_profile_trace.json
 
-check: build test audit profile
+# Differential fuzzing smoke: pinned seed, 100 generated programs, the
+# full config matrix per program, plus the planted-miscompile self-check.
+# Exits nonzero on a surviving divergence or a failed self-check; shrunk
+# reproducers land in test/corpus/ for replay.
+fuzz:
+	dune exec bin/experiments.exe -- fuzz --seed 11 --count 100 --self-check
+
+check: build test audit profile fuzz
 
 examples:
 	dune build examples

@@ -283,6 +283,97 @@ let profile_cmd =
           observed worker-pool timeline exported as Chrome trace JSON.")
     Term.(const run $ workload $ seed $ config $ top $ requests $ trace $ metrics)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign master seed.")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Generated programs.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:"Reference-interpreter budget per program (machine budget is 40x).")
+  in
+  let self_check =
+    Arg.(
+      value & flag
+      & info [ "self-check" ]
+          ~doc:
+            "Also plant a deliberate miscompile (Sub compiled as Add) and require the \
+             oracle to catch it and the shrinker to reduce it to <= 10 IR instructions.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Corpus directory: replayed before the campaign; divergences are saved here.")
+  in
+  let run seed count fuel self_check corpus =
+    let module J = R2c_obs.Json in
+    let module C = R2c_fuzz.Campaign in
+    (* Replay the persisted corpus first: known reproducers must stay fixed. *)
+    let replay_failures = C.replay ~fuel ~dir:corpus () in
+    List.iter
+      (fun (path, why) -> Printf.eprintf "fuzz: corpus replay failed: %s: %s\n" path why)
+      replay_failures;
+    let rep = C.run ~corpus_dir:corpus ~fuel ~seed ~count () in
+    let sc = if self_check then Some (C.self_check ~fuel ~seed ()) else None in
+    let sc_ok =
+      match sc with
+      | None -> true
+      | Some s -> s.C.caught && s.C.shrunk_size <= 10 && s.C.roundtrip_ok && s.C.still_fails
+    in
+    let summary =
+      J.Obj
+        ([
+           ("seed", J.Int rep.C.seed);
+           ("programs", J.Int rep.C.programs);
+           ("skipped", J.Int rep.C.skipped);
+           ("configs", J.Int (List.length R2c_fuzz.Oracle.matrix));
+           ("points_per_program", J.Int rep.C.points);
+           ("corpus_replayed", J.Int (List.length (R2c_fuzz.Corpus.files ~dir:corpus)));
+           ("corpus_failures", J.Int (List.length replay_failures));
+           ("divergences", J.Int rep.C.divergences);
+           ("reproducers",
+            J.Arr
+              (List.map
+                 (fun (path, size) ->
+                   J.Obj [ ("path", J.Str path); ("shrunk_size", J.Int size) ])
+                 rep.C.reproducers));
+         ]
+        @
+        match sc with
+        | None -> []
+        | Some s ->
+            [
+              ( "self_check",
+                J.Obj
+                  [
+                    ("caught", J.Bool s.C.caught);
+                    ("shrunk_size", J.Int s.C.shrunk_size);
+                    ("reproducer", J.Str s.C.reproducer);
+                    ("roundtrip_ok", J.Bool s.C.roundtrip_ok);
+                    ("still_fails", J.Bool s.C.still_fails);
+                  ] );
+            ])
+    in
+    print_endline (J.to_string summary);
+    if rep.C.divergences = 0 && replay_failures = [] && sc_ok then 0
+    else begin
+      prerr_endline "fuzz: surviving divergence or failed self-check";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generated programs through the reference interpreter vs \
+          the compiled machine under the whole Dconfig matrix (plus rerandomized \
+          variants); divergences are delta-debugged to minimal .r2c reproducers.")
+    Term.(const run $ seed $ count $ fuel $ self_check $ corpus)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -306,5 +397,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            all_cmd;
+            fuzz_cmd; all_cmd;
           ]))

@@ -405,7 +405,13 @@ let emit_instr ctx (instr : Ir.instr) =
 
 let emit_epilogue ctx ret_op =
   let eb = ctx.eb in
-  (match ret_op with Some op -> load_operand ctx RAX op | None -> ());
+  (* A value-less return still defines the result register: the reference
+     interpreter gives [Ret None] the value 0, and main's return is the
+     exit status — leaving stale RAX here is an observable divergence
+     (found by the differential fuzzer). *)
+  (match ret_op with
+  | Some op -> load_operand ctx RAX op
+  | None -> ins eb (Insn.Mov (Reg RAX, Imm (Abs 0))));
   List.iter
     (fun (r, off) -> ins eb (Insn.Mov (Reg r, Mem (slot_mem ctx off))))
     ctx.frame.save_slots;

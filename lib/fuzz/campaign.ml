@@ -1,0 +1,117 @@
+module Rng = R2c_util.Rng
+
+type report = {
+  seed : int;
+  requested : int;
+  programs : int;
+  skipped : int;
+  points : int;
+  divergences : int;
+  reproducers : (string * int) list;
+}
+
+let shrink_against ?plant ?fuel (f : Oracle.failure) p =
+  let cfg = Oracle.find_cfg f.Oracle.point in
+  Shrink.run
+    ~still_fails:(fun q -> Oracle.diverges ?plant ?fuel ~seed:f.Oracle.cseed ~cfg q)
+    p
+
+let run ?corpus_dir ?fuel ~seed ~count () =
+  let prng = Rng.create seed in
+  let programs = ref 0 and skipped = ref 0 and divergences = ref 0 in
+  let points = ref 0 in
+  let reproducers = ref [] in
+  for _ = 1 to count do
+    let pseed = Int64.to_int (Rng.int64 prng) land 0x3fff_ffff in
+    let p = Gen.v2 ~seed:pseed () in
+    incr programs;
+    match Oracle.check ?fuel p with
+    | Oracle.Pass n -> points := n
+    | Oracle.Skip _ -> incr skipped
+    | Oracle.Fail (f0 :: _ as fails) ->
+        incr divergences;
+        let shrunk = shrink_against ?fuel f0 p in
+        let size = Ir.program_size shrunk in
+        (match corpus_dir with
+        | Some dir ->
+            let name = Printf.sprintf "div-seed%d-%s" pseed f0.Oracle.point in
+            reproducers := (Corpus.save ~dir ~name shrunk, size) :: !reproducers
+        | None -> reproducers := (Printf.sprintf "<unsaved div-seed%d>" pseed, size) :: !reproducers);
+        ignore fails
+    | Oracle.Fail [] -> assert false
+  done;
+  {
+    seed;
+    requested = count;
+    programs = !programs;
+    skipped = !skipped;
+    points = !points;
+    divergences = !divergences;
+    reproducers = List.rev !reproducers;
+  }
+
+type self_check = {
+  caught : bool;
+  shrunk_size : int;
+  reproducer : string;
+  roundtrip_ok : bool;
+  still_fails : bool;
+}
+
+let default_out_dir () = Filename.concat (Filename.get_temp_dir_name ()) "r2c_fuzz"
+
+let self_check ?out_dir ?fuel ~seed () =
+  let out_dir = match out_dir with Some d -> d | None -> default_out_dir () in
+  let plant = Oracle.Sub_to_add in
+  let p = Gen.v2 ~seed () in
+  match Oracle.check ~plant ?fuel p with
+  | Oracle.Pass _ | Oracle.Skip _ ->
+      (* Generator v2 always emits an output-visible Sub in main, so a
+         clean verdict here means the oracle itself is broken. *)
+      { caught = false; shrunk_size = 0; reproducer = ""; roundtrip_ok = false; still_fails = false }
+  | Oracle.Fail (f0 :: _) ->
+      let cfg = Oracle.find_cfg f0.Oracle.point in
+      (* Isolate the planted bug: the candidate must diverge with the plant
+         and agree without it, so shrinking cannot drift onto an unrelated
+         genuine divergence. *)
+      let still_fails q =
+        Oracle.diverges ~plant ?fuel ~seed:f0.Oracle.cseed ~cfg q
+        && not (Oracle.diverges ?fuel ~seed:f0.Oracle.cseed ~cfg q)
+      in
+      let shrunk = Shrink.run ~still_fails p in
+      let path =
+        Corpus.save ~dir:out_dir ~name:(Printf.sprintf "selfcheck-sub-add-seed%d" seed) shrunk
+      in
+      let roundtrip_ok =
+        match Corpus.load path with
+        | Ok q -> Validate.check q = [] && still_fails q
+        | Error _ -> false
+      in
+      {
+        caught = true;
+        shrunk_size = Ir.program_size shrunk;
+        reproducer = path;
+        roundtrip_ok;
+        still_fails = still_fails shrunk;
+      }
+  | Oracle.Fail [] -> assert false
+
+let replay ?fuel ~dir () =
+  List.filter_map
+    (fun path ->
+      match Corpus.load path with
+      | Error e -> Some (path, "parse: " ^ e)
+      | Ok p -> (
+          match Validate.check p with
+          | e :: _ -> Some (path, "validate: " ^ Validate.error_to_string e)
+          | [] -> (
+              match Oracle.check ?fuel p with
+              | Oracle.Pass _ -> None
+              | Oracle.Skip s -> Some (path, "skip: " ^ s)
+              | Oracle.Fail (f :: _) ->
+                  Some
+                    ( path,
+                      Printf.sprintf "divergence at %s (seed %d)" f.Oracle.point
+                        f.Oracle.cseed )
+              | Oracle.Fail [] -> None)))
+    (Corpus.files ~dir)

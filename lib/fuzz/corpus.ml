@@ -1,0 +1,24 @@
+let save ~dir ~name p =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = Filename.concat dir (name ^ ".r2c") in
+  let oc = open_out path in
+  output_string oc (Text.to_string p);
+  close_out oc;
+  path
+
+let files ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".r2c")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Text.parse src with
+  | Ok p -> Ok p
+  | Error e -> Error (Text.error_to_string e)

@@ -1,0 +1,34 @@
+(** Seeded program generators for the differential fuzzer.
+
+    Two generators share this module:
+
+    - {!layered} is the v1 generator (formerly [R2c_workloads.Genprog]):
+      layered call DAGs with mixed arithmetic/memory/loop bodies, used by
+      the Section 6.3 scalability experiment. Its output is stable: equal
+      seeds produce exactly the programs the pinned scalability and
+      property tests were written against.
+
+    - {!v2} subsumes it for divergence hunting: bounded self-recursion,
+      indirect calls through a code-pointer table, deliberately aliasing
+      loads/stores (word and byte granularity against the same address
+      computed twice), division/remainder and overflow edge operands, and
+      booby-trap-adjacent control flow (statically reachable, dynamically
+      cold branches). Every program terminates by construction: loops have
+      constant bounds, recursion depth is masked to 15, the direct call
+      graph is layered, and indirect calls only target strictly
+      lower-numbered functions.
+
+    All randomness comes from one splittable seed ({!R2c_util.Rng}), so a
+    reproducer is its seed. Generated programs pass [Validate.check] and
+    stay inside the differential contract (no address-dependent output). *)
+
+(** [layered ~seed ~funcs] — a program with [funcs] functions (plus main)
+    whose call graph is a layered DAG; every function is reachable and
+    executed at least once. *)
+val layered : seed:int -> funcs:int -> Ir.program
+
+(** [v2 ~seed] — a generator-v2 program. [funcs] overrides the drawn
+    function count (default 4–10). The program always contains at least
+    one output-visible [Sub] instruction in [main], which the planted
+    miscompile of {!Oracle.plant} keys on. *)
+val v2 : ?funcs:int -> seed:int -> unit -> Ir.program

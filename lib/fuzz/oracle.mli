@@ -1,0 +1,60 @@
+(** Cross-configuration equivalence oracle.
+
+    R2C's soundness claim (Section 6.3) is that every diversification
+    configuration is observationally equivalent to the baseline program.
+    The oracle makes that executable: a generated program is run through
+    the reference interpreter and through the compiled [r2c_machine] under
+    a matrix of [Dconfig] points — baseline, full R2C, and each knob in
+    isolation — plus rerandomized variants (fresh seeds) of the full
+    configuration. Every run must produce the identical observable
+    (printed output + exit status); a booby trap firing on the legitimate
+    path, a crash, or a timeout is a divergence like any other.
+
+    A {!plant} deliberately miscompiles the program on the compiled side
+    only, to prove end-to-end that the oracle catches real bugs and the
+    shrinker reduces them (the fuzz self-check). *)
+
+type plant =
+  | Sub_to_add  (** every [Sub] compiles as [Add] *)
+  | Drop_stores  (** word stores are discarded *)
+  | Off_by_one  (** constant [Add] operands compile one too large *)
+
+(** [apply_plant pl p] — the miscompiled program the compiled path sees. *)
+val apply_plant : plant -> Ir.program -> Ir.program
+
+(** The config matrix: name + configuration. Covers every [Dconfig] knob
+    at least once (asserted by the test suite). Baseline first, so a
+    config-independent miscompile fails fast on the cheapest point. *)
+val matrix : (string * R2c_core.Dconfig.t) list
+
+(** [find_cfg name] — matrix lookup; raises [Not_found] on unknown name. *)
+val find_cfg : string -> R2c_core.Dconfig.t
+
+type failure = {
+  point : string;  (** matrix point name *)
+  cseed : int;  (** compile seed of the diverging variant *)
+  expected : string;  (** reference observable *)
+  got : string;  (** compiled observable (or crash/timeout tag) *)
+}
+
+type verdict =
+  | Pass of int  (** config points checked *)
+  | Fail of failure list
+  | Skip of string
+      (** reference interpreter failed (fuel, runtime error) or the
+          program does not validate — outside the differential contract *)
+
+(** [check ?plant ?fuel ?seed ?rerand p] — full matrix at compile seed
+    [seed] (default 3), plus the full configuration recompiled at each
+    seed in [rerand] (default [[1003; 2003]]) to assert equivalence across
+    rerandomized variants. [fuel] caps reference interpretation (default
+    5M IR steps); the machine budget is 40x that. *)
+val check :
+  ?plant:plant -> ?fuel:int -> ?seed:int -> ?rerand:int list -> Ir.program -> verdict
+
+(** [diverges ?plant ?fuel ~seed ~cfg p] — single-point oracle, the
+    shrinker's predicate: true iff [p] validates, the reference run
+    succeeds, and the compiled run under [cfg] at [seed] observably
+    differs. *)
+val diverges :
+  ?plant:plant -> ?fuel:int -> seed:int -> cfg:R2c_core.Dconfig.t -> Ir.program -> bool

@@ -1,0 +1,486 @@
+(* Generic operand plumbing: enumerate and rebuild the operands of an
+   instruction, so one candidate generator covers every position. *)
+
+let instr_ops (i : Ir.instr) =
+  match i with
+  | Mov (_, o) -> [ o ]
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) -> [ a; b ]
+  | Load (_, b, _) | Load8 (_, b, _) -> [ b ]
+  | Store (b, _, v) | Store8 (b, _, v) -> [ b; v ]
+  | Slot_addr _ -> []
+  | Call (_, callee, args) -> (
+      match callee with Indirect o -> o :: args | Direct _ | Builtin _ -> args)
+
+let instr_with_ops (i : Ir.instr) ops =
+  match (i, ops) with
+  | Mov (v, _), [ o ] -> Ir.Mov (v, o)
+  | Binop (v, op, _, _), [ a; b ] -> Binop (v, op, a, b)
+  | Cmp (v, c, _, _), [ a; b ] -> Cmp (v, c, a, b)
+  | Load (v, _, off), [ b ] -> Load (v, b, off)
+  | Load8 (v, _, off), [ b ] -> Load8 (v, b, off)
+  | Store (_, off, _), [ b; v ] -> Store (b, off, v)
+  | Store8 (_, off, _), [ b; v ] -> Store8 (b, off, v)
+  | Slot_addr _, [] -> i
+  | Call (d, Indirect _, _), o :: args -> Call (d, Indirect o, args)
+  | Call (d, callee, _), args -> Call (d, callee, args)
+  | _ -> invalid_arg "Shrink.instr_with_ops: arity mismatch"
+
+let map_instr_ops f i = instr_with_ops i (List.map f (instr_ops i))
+
+let map_term_ops f (t : Ir.term) =
+  match t with
+  | Ret (Some o) -> Ir.Ret (Some (f o))
+  | Cond_br (c, l1, l2) -> Cond_br (f c, l1, l2)
+  | Ret None | Br _ -> t
+
+let def_var (i : Ir.instr) =
+  match i with
+  | Mov (v, _) | Binop (v, _, _, _) | Cmp (v, _, _, _)
+  | Load (v, _, _) | Load8 (v, _, _) | Slot_addr (v, _)
+  | Call (Some v, _, _) ->
+      Some v
+  | Store _ | Store8 _ | Call (None, _, _) -> None
+
+(* ---- weight: every accepted edit strictly decreases it ---- *)
+
+let bits n =
+  let n = abs n in
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let op_weight = function
+  | Ir.Const 0 | Ir.Const 1 -> 0
+  | Ir.Const n -> 2 + bits n
+  | Ir.Var _ -> 8
+  | Ir.Global _ | Ir.Func _ -> 12
+
+(* Mov is cheaper than every other instruction so collapsing an
+   arithmetic or memory op into a copy is a strict improvement. *)
+let instr_weight i =
+  (match i with Ir.Mov _ -> 20 | _ -> 30)
+  + List.fold_left (fun a o -> a + op_weight o) 0 (instr_ops i)
+
+let term_weight : Ir.term -> int = function
+  | Ret None -> 0
+  | Ret (Some o) -> op_weight o
+  | Br _ -> 5
+  | Cond_br (c, _, _) -> 50 + op_weight c
+
+let weight (p : Ir.program) =
+  let fw (f : Ir.func) =
+    10_000
+    + (5 * Array.length f.slots)
+    + List.fold_left
+        (fun a (b : Ir.block) ->
+          a + 40
+          + List.fold_left (fun a i -> a + instr_weight i) 0 b.body
+          + term_weight b.term)
+        0 f.blocks
+  in
+  let gw (g : Ir.global) = 500 + (8 * List.length g.ginit) in
+  List.fold_left (fun a f -> a + fw f) 0 p.funcs
+  + List.fold_left (fun a g -> a + gw g) 0 p.globals
+
+(* ---- structural edits ---- *)
+
+let map_func p name g =
+  { p with Ir.funcs = List.map (fun (f : Ir.func) -> if f.name = name then g f else f) p.Ir.funcs }
+
+let map_blocks g (f : Ir.func) = { f with Ir.blocks = List.map g f.Ir.blocks }
+
+(* Drop unreachable blocks (the entry stays first), so collapsing a
+   conditional branch leaves a program Validate accepts. *)
+let gc_blocks (f : Ir.func) =
+  match f.blocks with
+  | [] -> f
+  | entry :: _ ->
+      let succs (b : Ir.block) =
+        match b.term with
+        | Ret _ -> []
+        | Br l -> [ l ]
+        | Cond_br (_, l1, l2) -> [ l1; l2 ]
+      in
+      let by_lbl = Hashtbl.create 16 in
+      List.iter (fun (b : Ir.block) -> Hashtbl.replace by_lbl b.lbl b) f.blocks;
+      let seen = Hashtbl.create 16 in
+      let rec visit l =
+        if (not (Hashtbl.mem seen l)) && Hashtbl.mem by_lbl l then begin
+          Hashtbl.replace seen l ();
+          List.iter visit (succs (Hashtbl.find by_lbl l))
+        end
+      in
+      visit entry.lbl;
+      { f with blocks = List.filter (fun (b : Ir.block) -> Hashtbl.mem seen b.lbl) f.blocks }
+
+(* Remove a function wholesale: calls to it become [Mov dst, 0] (or
+   vanish), address-of operands and table initialisers become 0. *)
+let remove_func (p : Ir.program) name =
+  let fix_op = function Ir.Func n when n = name -> Ir.Const 0 | o -> o in
+  let fix_instr (i : Ir.instr) =
+    match i with
+    | Call (Some d, Direct n, _) when n = name -> Some (Ir.Mov (d, Ir.Const 0))
+    | Call (None, Direct n, _) when n = name -> None
+    | i -> Some (map_instr_ops fix_op i)
+  in
+  {
+    Ir.main = p.main;
+    funcs =
+      List.filter_map
+        (fun (f : Ir.func) ->
+          if f.name = name then None
+          else
+            Some
+              (map_blocks
+                 (fun (b : Ir.block) ->
+                   {
+                     b with
+                     Ir.body = List.filter_map fix_instr b.body;
+                     term = map_term_ops fix_op b.term;
+                   })
+                 f))
+        p.funcs;
+    globals =
+      List.map
+        (fun (g : Ir.global) ->
+          {
+            g with
+            Ir.ginit =
+              List.map
+                (function
+                  | (Ir.Sym_addr n | Ir.Sym_addr_off (n, _)) when n = name -> Ir.Word 0
+                  | it -> it)
+                g.ginit;
+          })
+        p.globals;
+  }
+
+let var_used (f : Ir.func) v =
+  let in_op = function Ir.Var w -> w = v | _ -> false in
+  List.exists
+    (fun (b : Ir.block) ->
+      List.exists (fun i -> List.exists in_op (instr_ops i)) b.body
+      ||
+      match b.term with
+      | Ret (Some o) -> in_op o
+      | Cond_br (c, _, _) -> in_op c
+      | Ret None | Br _ -> false)
+    f.blocks
+
+let edit_block_instr p fname lbl j g =
+  map_func p fname
+    (map_blocks (fun (b : Ir.block) ->
+         if b.lbl <> lbl then b
+         else
+           {
+             b with
+             Ir.body =
+               List.concat (List.mapi (fun k i -> if k = j then g i else [ i ]) b.body);
+           }))
+
+let global_used (p : Ir.program) name =
+  let in_op = function Ir.Global g -> g = name | _ -> false in
+  List.exists
+    (fun (f : Ir.func) ->
+      List.exists
+        (fun (b : Ir.block) ->
+          List.exists (fun i -> List.exists in_op (instr_ops i)) b.body
+          ||
+          match b.term with
+          | Ret (Some o) -> in_op o
+          | Cond_br (c, _, _) -> in_op c
+          | Ret None | Br _ -> false)
+        f.blocks)
+    p.funcs
+  || List.exists
+       (fun (g : Ir.global) ->
+         List.exists
+           (function
+             | Ir.Sym_addr n | Ir.Sym_addr_off (n, _) -> n = name
+             | Ir.Word _ | Ir.Str _ -> false)
+           g.ginit)
+       p.globals
+
+(* Renumber stack slots so only referenced ones remain. *)
+let compact_slots (f : Ir.func) =
+  let n = Array.length f.slots in
+  let used = Array.make n false in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (function Ir.Slot_addr (_, i) when i < n -> used.(i) <- true | _ -> ()) b.body)
+    f.blocks;
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun i u ->
+      if u then begin
+        remap.(i) <- !next;
+        incr next
+      end)
+    used;
+  if !next = n then None
+  else
+    let slots =
+      Array.of_list
+        (List.filteri (fun i _ -> used.(i)) (Array.to_list f.slots))
+    in
+    Some
+      (map_blocks
+         (fun (b : Ir.block) ->
+           {
+             b with
+             Ir.body =
+               List.map
+                 (function
+                   | Ir.Slot_addr (v, i) -> Ir.Slot_addr (v, remap.(i))
+                   | i -> i)
+                 b.body;
+           })
+         { f with slots })
+
+(* ---- candidate enumeration, big edits first ---- *)
+
+let candidates (p : Ir.program) : (unit -> Ir.program) list =
+  let cands = ref [] in
+  let push c = cands := c :: !cands in
+  (* Operand simplifications + constant halving (small edits, pushed first
+     so they end up last after the final reversal). *)
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          (* Terminator operands. *)
+          (match b.term with
+          | Ret (Some o) when op_weight o > 0 ->
+              push (fun () ->
+                  map_func p f.name
+                    (map_blocks (fun (b' : Ir.block) ->
+                         if b'.lbl = b.lbl then { b' with Ir.term = Ret None } else b')))
+          | _ -> ());
+          List.iteri
+            (fun j i ->
+              List.iteri
+                (fun k o ->
+                  let replace o' =
+                    push (fun () ->
+                        edit_block_instr p f.name b.lbl j (fun i ->
+                            [
+                              instr_with_ops i
+                                (List.mapi
+                                   (fun k' o0 -> if k' = k then o' else o0)
+                                   (instr_ops i));
+                            ]))
+                  in
+                  (match o with
+                  | Ir.Const n when n <> 0 && n <> 1 && n asr 1 <> n ->
+                      replace (Ir.Const (n asr 1))
+                  | _ -> ());
+                  if op_weight o > 0 then begin
+                    replace (Ir.Const 1);
+                    replace (Ir.Const 0)
+                  end)
+                (instr_ops i))
+            b.body)
+        f.blocks)
+    p.funcs;
+  (* Data-flow collapse: rewrite a defining instruction to a copy of one
+     of its own operands, and forward stored values into loads, so chains
+     threaded through arithmetic and memory shrink to Movs. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      let store_vals =
+        List.concat_map
+          (fun (b : Ir.block) ->
+            List.filter_map
+              (function
+                | Ir.Store (_, _, v) | Ir.Store8 (_, _, v) -> Some v
+                | _ -> None)
+              b.Ir.body)
+          f.blocks
+      in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iteri
+            (fun j i ->
+              match (def_var i, i) with
+              | Some _, Ir.Mov _ | None, _ -> ()
+              | Some v, _ ->
+                  let try_mov o =
+                    push (fun () ->
+                        edit_block_instr p f.name b.lbl j (fun _ -> [ Ir.Mov (v, o) ]))
+                  in
+                  List.iter try_mov (instr_ops i);
+                  (match i with
+                  | Ir.Load _ | Ir.Load8 _ -> List.iter try_mov store_vals
+                  | _ -> ()))
+            b.body)
+        f.blocks)
+    p.funcs;
+  (* Copy propagation: a [Mov v, o] whose target has no other definition
+     can vanish, with every use of [v] rewritten to [o]. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      let defs v =
+        List.fold_left
+          (fun a (b : Ir.block) ->
+            List.fold_left
+              (fun a i -> if def_var i = Some v then a + 1 else a)
+              a b.Ir.body)
+          0 f.blocks
+      in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iteri
+            (fun j i ->
+              match i with
+              | Ir.Mov (v, o) when o <> Ir.Var v && defs v = 1 ->
+                  push (fun () ->
+                      let subst o' = if o' = Ir.Var v then o else o' in
+                      map_func
+                        (edit_block_instr p f.name b.lbl j (fun _ -> []))
+                        f.name
+                        (map_blocks (fun (b' : Ir.block) ->
+                             {
+                               b' with
+                               Ir.body = List.map (map_instr_ops subst) b'.Ir.body;
+                               term = map_term_ops subst b'.term;
+                             })))
+              | _ -> ())
+            b.body)
+        f.blocks)
+    p.funcs;
+  (* Merge a block into its unique successor when nothing else jumps
+     there, straightening br-chains left by other edits. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      let preds l =
+        List.fold_left
+          (fun a (b : Ir.block) ->
+            match b.term with
+            | Br l' -> if l' = l then a + 1 else a
+            | Cond_br (_, l1, l2) ->
+                a + (if l1 = l then 1 else 0) + if l2 = l then 1 else 0
+            | Ret _ -> a)
+          0 f.blocks
+      in
+      List.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Br l when l <> b.lbl && preds l = 1 -> (
+              match List.find_opt (fun (b' : Ir.block) -> b'.Ir.lbl = l) f.blocks with
+              | Some tgt ->
+                  push (fun () ->
+                      map_func p f.name (fun f ->
+                          gc_blocks
+                            (map_blocks
+                               (fun (b' : Ir.block) ->
+                                 if b'.lbl = b.lbl then
+                                   { b' with Ir.body = b'.Ir.body @ tgt.Ir.body; term = tgt.Ir.term }
+                                 else b')
+                               f)))
+              | None -> ())
+          | _ -> ())
+        f.blocks)
+    p.funcs;
+  (* Slot compaction and unused-global removal. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      match compact_slots f with
+      | Some f' -> push (fun () -> map_func p f.name (fun _ -> f'))
+      | None -> ())
+    p.funcs;
+  List.iter
+    (fun (g : Ir.global) ->
+      (match g.ginit with
+      | _ :: _ ->
+          push (fun () ->
+              {
+                p with
+                Ir.globals =
+                  List.map
+                    (fun (g' : Ir.global) ->
+                      if g'.gname = g.gname then
+                        { g' with Ir.ginit = List.filteri (fun i _ -> i < List.length g.ginit - 1) g.ginit }
+                      else g')
+                    p.Ir.globals;
+              })
+      | [] -> ());
+      if not (global_used p g.gname) then
+        push (fun () ->
+            { p with Ir.globals = List.filter (fun (g' : Ir.global) -> g'.gname <> g.gname) p.Ir.globals }))
+    p.globals;
+  (* Per-instruction drops / neutralisations. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iteri
+            (fun j i ->
+              match def_var i with
+              | None ->
+                  (* Pure effects (stores, void calls) can simply go. *)
+                  push (fun () -> edit_block_instr p f.name b.lbl j (fun _ -> []))
+              | Some v ->
+                  if not (var_used f v) then
+                    push (fun () -> edit_block_instr p f.name b.lbl j (fun _ -> []))
+                  else if i <> Ir.Mov (v, Ir.Const 0) then
+                    (* Keep the definition so no variable reads garbage on
+                       the compiled side (the interpreter zero-fills). *)
+                    push (fun () ->
+                        edit_block_instr p f.name b.lbl j (fun _ -> [ Ir.Mov (v, Ir.Const 0) ])))
+            b.body)
+        f.blocks)
+    p.funcs;
+  (* Conditional branches become unconditional (then GC dead blocks). *)
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          match b.term with
+          | Cond_br (_, l1, l2) ->
+              List.iter
+                (fun l ->
+                  push (fun () ->
+                      map_func p f.name (fun f ->
+                          gc_blocks
+                            (map_blocks
+                               (fun (b' : Ir.block) ->
+                                 if b'.lbl = b.lbl then { b' with Ir.term = Br l } else b')
+                               f))))
+                [ l2; l1 ]
+          | Ret _ | Br _ -> ())
+        f.blocks)
+    p.funcs;
+  (* Whole-function removal: the biggest cut, tried first. *)
+  List.iter
+    (fun (f : Ir.func) ->
+      if f.name <> p.main then push (fun () -> remove_func p f.name))
+    p.funcs;
+  !cands
+
+let run ?(max_checks = 4000) ~still_fails p0 =
+  let checks = ref 0 in
+  let ok c =
+    Validate.check c = []
+    && (incr checks;
+        still_fails c)
+  in
+  let cur = ref p0 in
+  let progress = ref true in
+  (try
+     while !progress do
+       progress := false;
+       let w = weight !cur in
+       List.iter
+         (fun mk ->
+           if not !progress then begin
+             if !checks >= max_checks then raise Exit;
+             let c = mk () in
+             if weight c < w && ok c then begin
+               cur := c;
+               progress := true
+             end
+           end)
+         (candidates !cur)
+     done
+   with Exit -> ());
+  !cur

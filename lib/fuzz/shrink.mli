@@ -1,0 +1,24 @@
+(** Greedy delta-debugging over IR programs.
+
+    Reduces a diverging program to a minimal reproducer the way Wasm-R3
+    reduces recorded traces to standalone benchmarks: propose an edit,
+    re-validate with [Validate.check], re-run the failure predicate, keep
+    the edit only if the program still validates and still fails. Edits
+    are ordered big-to-small: drop whole functions (rewriting their call
+    sites to constants), collapse conditional branches and garbage-collect
+    unreachable blocks, drop or neutralise instructions (definitions
+    become [Mov v, 0] so no variable is ever left uninitialised — a raw
+    drop could manufacture a fresh divergence and hijack the predicate),
+    simplify operands toward small constants, halve constants (loop
+    bounds shrink this way), remove unused globals, and compact unused
+    stack slots.
+
+    Each accepted edit strictly decreases an integer weight, so the
+    process terminates; [max_checks] additionally bounds the number of
+    predicate evaluations (each one compiles and runs the candidate). *)
+
+(** [run ?max_checks ~still_fails p] — a minimal-ish program that
+    validates and satisfies [still_fails]. [p] itself is assumed to fail;
+    it is returned unchanged if no edit survives. Default [max_checks]:
+    4000. *)
+val run : ?max_checks:int -> still_fails:(Ir.program -> bool) -> Ir.program -> Ir.program

@@ -1,105 +1,6 @@
-module B = Builder
-module Rng = R2c_util.Rng
+(* The generator moved to R2c_fuzz.Gen so the scalability experiment and
+   the differential fuzzer share one implementation; [Gen.layered] is the
+   verbatim v1 generator, so [generate ~seed ~funcs] output is unchanged
+   (the determinism, validation, and differential tests pin it). *)
 
-let fname i = Printf.sprintf "gp_f%d" i
-
-(* One generated function: mixes its parameters with arithmetic, touches a
-   global array, sometimes loops, and calls 0-3 lower-numbered functions
-   (guaranteeing an acyclic call graph). *)
-let gen_func rng i =
-  let fb = B.func (fname i) ~nparams:2 in
-  let a = B.param 0 and b = B.param 1 in
-  let acc = B.slot fb 8 in
-  B.store fb (B.slot_addr fb acc) 0 a;
-  let add v =
-    let cur = B.load fb (B.slot_addr fb acc) 0 in
-    B.store fb (B.slot_addr fb acc) 0 (B.binop fb Ir.Add cur v)
-  in
-  (* Arithmetic body. *)
-  let n_ops = Rng.int_in_range rng ~lo:2 ~hi:6 in
-  let cur = ref b in
-  for _ = 1 to n_ops do
-    let op =
-      match Rng.int rng 5 with
-      | 0 -> Ir.Add
-      | 1 -> Ir.Sub
-      | 2 -> Ir.Mul
-      | 3 -> Ir.Xor
-      | _ -> Ir.And
-    in
-    cur := B.binop fb op !cur (Ir.Const (Rng.int_in_range rng ~lo:1 ~hi:1000))
-  done;
-  add !cur;
-  (* Global array touch. *)
-  if Rng.bool rng then begin
-    let idx = B.binop fb Ir.And a (Ir.Const 63) in
-    let off = B.binop fb Ir.Mul idx (Ir.Const 8) in
-    let slot = B.binop fb Ir.Add (Ir.Global "gp_data") off in
-    let v = B.load fb slot 0 in
-    B.store fb slot 0 (B.binop fb Ir.Add v (Ir.Const 1));
-    add v
-  end;
-  (* Occasional small loop. *)
-  if Rng.int rng 3 = 0 then begin
-    let n = Rng.int_in_range rng ~lo:2 ~hi:5 in
-    Wb.for_ fb ~from:(Ir.Const 0) ~below:(Ir.Const n) (fun k ->
-        let m = B.binop fb Ir.Mul k (Ir.Const 3) in
-        add m)
-  end;
-  (* Calls to earlier functions (each executed exactly once per call of
-     this function, keeping total work linear in program size). *)
-  if i > 0 then begin
-    (* Expected out-degree < 1 keeps the expected transitive work per call
-       bounded, so even 30k-function programs execute in linear time. *)
-    let n_calls =
-      match Rng.int rng 10 with 0 | 1 | 2 | 3 -> 1 | 4 | 5 -> 2 | _ -> 0
-    in
-    let n_calls = min n_calls i in
-    for _ = 1 to n_calls do
-      let callee = Rng.int rng i in
-      let v =
-        B.call fb (Ir.Direct (fname callee))
-          [ B.binop fb Ir.And a (Ir.Const 0xffff); Ir.Const (Rng.int_in_range rng ~lo:0 ~hi:99) ]
-      in
-      add v
-    done
-  end;
-  let r = B.load fb (B.slot_addr fb acc) 0 in
-  B.ret fb (Some (B.binop fb Ir.And r (Ir.Const 0xffff_ffff)));
-  B.finish fb
-
-let generate ~seed ~funcs =
-  assert (funcs > 0);
-  let rng = Rng.create seed in
-  let fs = List.init funcs (fun i -> gen_func rng i) in
-  let main = B.func "main" ~nparams:0 in
-  let acc = B.slot main 8 in
-  B.store main (B.slot_addr main acc) 0 (Ir.Const 0);
-  (* Call the top layer: the highest functions transitively execute a large
-     share of the graph. *)
-  let roots = min 8 funcs in
-  for k = 1 to roots do
-    let v = B.call main (Ir.Direct (fname (funcs - k))) [ Ir.Const k; Ir.Const (k * 7) ] in
-    let cur = B.load main (B.slot_addr main acc) 0 in
-    B.store main (B.slot_addr main acc) 0 (B.binop main Ir.Add cur v)
-  done;
-  (* Ensure every function ran at least once (coverage of the compile). *)
-  Wb.for_ main ~from:(Ir.Const 0) ~below:(Ir.Const 1) (fun _ -> ());
-  let covered = B.func "gp_cover" ~nparams:0 in
-  let acc2 = B.slot covered 8 in
-  B.store covered (B.slot_addr covered acc2) 0 (Ir.Const 0);
-  List.iteri
-    (fun i _ ->
-      let v = B.call covered (Ir.Direct (fname i)) [ Ir.Const i; Ir.Const 3 ] in
-      let cur = B.load covered (B.slot_addr covered acc2) 0 in
-      B.store covered (B.slot_addr covered acc2) 0 (B.binop covered Ir.Xor cur v))
-    fs;
-  B.ret covered (Some (B.load covered (B.slot_addr covered acc2) 0));
-  let v = B.call main (Ir.Direct "gp_cover") [] in
-  let cur = B.load main (B.slot_addr main acc) 0 in
-  B.store main (B.slot_addr main acc) 0 (B.binop main Ir.Add cur v);
-  B.call_void main (Ir.Builtin "print_int") [ B.load main (B.slot_addr main acc) 0 ];
-  B.ret main (Some (Ir.Const 0));
-  B.program ~main:"main"
-    (fs @ [ B.finish covered; B.finish main ])
-    [ { Ir.gname = "gp_data"; gsize = 8 * 64; ginit = [] } ]
+let generate = R2c_fuzz.Gen.layered

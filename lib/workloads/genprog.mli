@@ -9,5 +9,8 @@
 
 (** [generate ~seed ~funcs] — a program with [funcs] functions (plus main)
     whose call graph is a layered DAG; every function is reachable and
-    executed at least once. *)
+    executed at least once. Delegates to {!R2c_fuzz.Gen.layered}: the
+    scalability experiment and the differential fuzzer share one
+    generator, and equal seeds keep producing the exact programs the
+    pinned tests were written against. *)
 val generate : seed:int -> funcs:int -> Ir.program
