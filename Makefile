@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench audit profile fuzz
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz
 
 all: build
 
@@ -37,6 +37,12 @@ examples:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable perf trajectory: per-workload metrics plus wall-clock
+# ms for the table1 + figure6 regenerations, written to bench_out.json
+# (CI archives it as an artifact).
+bench-json:
+	dune exec bench/main.exe -- --json bench_out.json table1 figure6
 
 clean:
 	dune clean

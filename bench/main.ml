@@ -131,7 +131,7 @@ let run_bechamel () =
    cycles, overhead, insns, icache, call depth) for baseline vs full R2C,
    emitted with the observability layer's JSON printer. --- *)
 
-let emit_json path =
+let emit_json ?(timings = []) path =
   let module Json = R2c_obs.Json in
   let full = Dconfig.full () in
   let seed = 3 in
@@ -170,6 +170,7 @@ let emit_json path =
       [
         ("config", Json.Str "full");
         ("seed", Json.Int seed);
+        ("jobs", Json.Int (R2c_util.Parallel.default_jobs ()));
         ( "workloads",
           Json.Obj (List.map (fun (n, _, j) -> (n, j)) per_workload) );
         ( "summary",
@@ -178,6 +179,10 @@ let emit_json path =
               ("geomean_overhead", Json.Float (R2c_util.Stats.geomean overheads));
               ("max_overhead", Json.Float (R2c_util.Stats.maximum overheads));
             ] );
+        (* Wall-clock per experiment regenerated in this invocation: the
+           perf-trajectory signal BENCH_*.json tracks across PRs. *)
+        ( "experiment_wall_ms",
+          Json.Obj (List.map (fun (n, ms) -> (n, Json.Float ms)) timings) );
       ]
   in
   let oc = open_out path in
@@ -195,13 +200,13 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json_path, args = split_json [] args in
-  (match json_path with Some path -> emit_json path | None -> ());
   let selected =
     match args with
-    | [] when json_path <> None -> []  (* --json alone: just the emission *)
+    | [] when json_path <> None -> []  (* --json alone: just the workload emission *)
     | [] -> List.map (fun (n, _, _) -> n) experiments @ [ "bechamel" ]
     | _ -> args
   in
+  let timings = ref [] in
   List.iter
     (fun name ->
       if name = "bechamel" then run_bechamel ()
@@ -211,9 +216,14 @@ let () =
             Printf.printf "\n######## %s ########\n%!" desc;
             let t = Unix.gettimeofday () in
             f ();
-            Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+            let seconds = Unix.gettimeofday () -. t in
+            timings := (name, seconds *. 1000.0) :: !timings;
+            Printf.printf "[%s completed in %.1fs]\n%!" name seconds
         | None ->
             Printf.eprintf "unknown experiment %s (available: %s, bechamel)\n" name
               (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
     selected;
+  (match json_path with
+  | Some path -> emit_json ~timings:(List.rev !timings) path
+  | None -> ());
   Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

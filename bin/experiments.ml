@@ -310,15 +310,30 @@ let fuzz_cmd =
       & info [ "corpus" ] ~docv:"DIR"
           ~doc:"Corpus directory: replayed before the campaign; divergences are saved here.")
   in
-  let run seed count fuel self_check corpus =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the campaign (0 = auto: \\$R2C_JOBS or the \
+             recommended domain count; 1 = serial). The report is identical at any \
+             width.")
+  in
+  let run seed count fuel self_check corpus jobs =
     let module J = R2c_obs.Json in
     let module C = R2c_fuzz.Campaign in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let effective_jobs =
+      match jobs with Some j -> j | None -> R2c_util.Parallel.default_jobs ()
+    in
     (* Replay the persisted corpus first: known reproducers must stay fixed. *)
     let replay_failures = C.replay ~fuel ~dir:corpus () in
     List.iter
       (fun (path, why) -> Printf.eprintf "fuzz: corpus replay failed: %s: %s\n" path why)
       replay_failures;
-    let rep = C.run ~corpus_dir:corpus ~fuel ~seed ~count () in
+    let t0 = Unix.gettimeofday () in
+    let rep = C.run ~corpus_dir:corpus ~fuel ?jobs ~seed ~count () in
+    let campaign_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     let sc = if self_check then Some (C.self_check ~fuel ~seed ()) else None in
     let sc_ok =
       match sc with
@@ -335,6 +350,8 @@ let fuzz_cmd =
            ("points_per_program", J.Int rep.C.points);
            ("corpus_replayed", J.Int (List.length (R2c_fuzz.Corpus.files ~dir:corpus)));
            ("corpus_failures", J.Int (List.length replay_failures));
+           ("jobs", J.Int effective_jobs);
+           ("campaign_wall_ms", J.Float campaign_ms);
            ("divergences", J.Int rep.C.divergences);
            ("reproducers",
             J.Arr
@@ -372,7 +389,7 @@ let fuzz_cmd =
          "Differential fuzzing: generated programs through the reference interpreter vs \
           the compiled machine under the whole Dconfig matrix (plus rerandomized \
           variants); divergences are delta-debugged to minimal .r2c reproducers.")
-    Term.(const run $ seed $ count $ fuel $ self_check $ corpus)
+    Term.(const run $ seed $ count $ fuel $ self_check $ corpus $ jobs)
 
 let all_cmd =
   let run seeds =

@@ -16,38 +16,52 @@ let shrink_against ?plant ?fuel (f : Oracle.failure) p =
     ~still_fails:(fun q -> Oracle.diverges ?plant ?fuel ~seed:f.Oracle.cseed ~cfg q)
     p
 
-let run ?corpus_dir ?fuel ~seed ~count () =
+let run ?corpus_dir ?fuel ?jobs ~seed ~count () =
+  (* Program seeds are drawn sequentially up front — the exact stream the
+     serial loop drew — then each program's generate/check/shrink runs as
+     one independent task on the domain pool. [Parallel.map] preserves
+     program order, so counts and reproducer order are identical at any
+     [jobs]. [jobs] is threaded into {!Oracle.check} too: at [jobs = 1]
+     the whole campaign is the historical serial code path, while a
+     parallel campaign makes the nested matrix fan-out degrade to serial
+     inside each worker (no domain pools inside domain pools). *)
   let prng = Rng.create seed in
-  let programs = ref 0 and skipped = ref 0 and divergences = ref 0 in
-  let points = ref 0 in
-  let reproducers = ref [] in
+  let pseeds = ref [] in
   for _ = 1 to count do
-    let pseed = Int64.to_int (Rng.int64 prng) land 0x3fff_ffff in
-    let p = Gen.v2 ~seed:pseed () in
-    incr programs;
-    match Oracle.check ?fuel p with
-    | Oracle.Pass n -> points := n
-    | Oracle.Skip _ -> incr skipped
-    | Oracle.Fail (f0 :: _ as fails) ->
-        incr divergences;
-        let shrunk = shrink_against ?fuel f0 p in
-        let size = Ir.program_size shrunk in
-        (match corpus_dir with
-        | Some dir ->
-            let name = Printf.sprintf "div-seed%d-%s" pseed f0.Oracle.point in
-            reproducers := (Corpus.save ~dir ~name shrunk, size) :: !reproducers
-        | None -> reproducers := (Printf.sprintf "<unsaved div-seed%d>" pseed, size) :: !reproducers);
-        ignore fails
-    | Oracle.Fail [] -> assert false
+    pseeds := (Int64.to_int (Rng.int64 prng) land 0x3fff_ffff) :: !pseeds
   done;
+  let outcomes =
+    R2c_util.Parallel.map ?jobs
+      (fun pseed ->
+        let p = Gen.v2 ~seed:pseed () in
+        match Oracle.check ?fuel ?jobs p with
+        | Oracle.Pass n -> `Pass n
+        | Oracle.Skip s -> `Skip s
+        | Oracle.Fail (f0 :: _) ->
+            let shrunk = shrink_against ?fuel f0 p in
+            let size = Ir.program_size shrunk in
+            let saved =
+              match corpus_dir with
+              | Some dir ->
+                  let name = Printf.sprintf "div-seed%d-%s" pseed f0.Oracle.point in
+                  Corpus.save ~dir ~name shrunk
+              | None -> Printf.sprintf "<unsaved div-seed%d>" pseed
+            in
+            `Fail (saved, size)
+        | Oracle.Fail [] -> assert false)
+      (List.rev !pseeds)
+  in
+  let points =
+    List.fold_left (fun acc -> function `Pass n -> n | _ -> acc) 0 outcomes
+  in
   {
     seed;
     requested = count;
-    programs = !programs;
-    skipped = !skipped;
-    points = !points;
-    divergences = !divergences;
-    reproducers = List.rev !reproducers;
+    programs = List.length outcomes;
+    skipped = List.length (List.filter (function `Skip _ -> true | _ -> false) outcomes);
+    points;
+    divergences = List.length (List.filter (function `Fail _ -> true | _ -> false) outcomes);
+    reproducers = List.filter_map (function `Fail r -> Some r | _ -> None) outcomes;
   }
 
 type self_check = {

@@ -18,11 +18,14 @@ type report = {
       (** saved reproducer path, shrunk size in IR instructions *)
 }
 
-(** [run ?corpus_dir ?fuel ~seed ~count ()] — [count] generator-v2
+(** [run ?corpus_dir ?fuel ?jobs ~seed ~count ()] — [count] generator-v2
     programs derived from [seed], each checked against the full matrix.
     Divergences are shrunk against their first failing point and, when
-    [corpus_dir] is given, saved there. *)
-val run : ?corpus_dir:string -> ?fuel:int -> seed:int -> count:int -> unit -> report
+    [corpus_dir] is given, saved there. Programs fan out over a
+    {!R2c_util.Parallel} domain pool capped at [jobs] (1 = the historical
+    serial path); the report is identical at any [jobs]. *)
+val run :
+  ?corpus_dir:string -> ?fuel:int -> ?jobs:int -> seed:int -> count:int -> unit -> report
 
 type self_check = {
   caught : bool;  (** the planted miscompile diverged *)

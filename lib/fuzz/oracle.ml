@@ -82,7 +82,7 @@ let run_compiled ?plant ~fuel ~seed cfg p =
 let default_fuel = 5_000_000
 let machine_fuel fuel = fuel * 40
 
-let check ?plant ?(fuel = default_fuel) ?(seed = 3) ?(rerand = [ 1003; 2003 ]) p =
+let check ?plant ?(fuel = default_fuel) ?(seed = 3) ?(rerand = [ 1003; 2003 ]) ?jobs p =
   match Validate.check p with
   | _ :: _ -> Skip "program does not validate"
   | [] -> (
@@ -90,18 +90,24 @@ let check ?plant ?(fuel = default_fuel) ?(seed = 3) ?(rerand = [ 1003; 2003 ]) p
       | Error e -> Skip e
       | Ok expected ->
           let mfuel = machine_fuel fuel in
-          let fails = ref [] in
-          let points = ref 0 in
-          let probe ~point ~cseed cfg =
-            incr points;
-            let got = run_compiled ?plant ~fuel:mfuel ~seed:cseed cfg p in
-            if got <> expected then fails := { point; cseed; expected; got } :: !fails
+          (* Matrix points first, then the rerandomized variants of the
+             full configuration: equivalence across fresh diversification
+             seeds, not just against one. Each point compiles and runs its
+             own images, so the whole matrix fans out over the domain pool
+             (serial when nested under a parallel campaign, or jobs = 1). *)
+          let probes =
+            List.map (fun (point, cfg) -> (point, seed, cfg)) matrix
+            @ List.map (fun s -> ("full", s, D.full ())) rerand
           in
-          List.iter (fun (point, cfg) -> probe ~point ~cseed:seed cfg) matrix;
-          (* Rerandomized variants of the full configuration: equivalence
-             across fresh diversification seeds, not just against one. *)
-          List.iter (fun s -> probe ~point:"full" ~cseed:s (D.full ())) rerand;
-          if !fails = [] then Pass !points else Fail (List.rev !fails))
+          let fails =
+            R2c_util.Parallel.map ?jobs
+              (fun (point, cseed, cfg) ->
+                let got = run_compiled ?plant ~fuel:mfuel ~seed:cseed cfg p in
+                if got <> expected then Some { point; cseed; expected; got } else None)
+              probes
+            |> List.filter_map Fun.id
+          in
+          if fails = [] then Pass (List.length probes) else Fail fails)
 
 let diverges ?plant ?(fuel = default_fuel) ~seed ~cfg p =
   Validate.check p = []

@@ -44,13 +44,17 @@ type verdict =
       (** reference interpreter failed (fuel, runtime error) or the
           program does not validate — outside the differential contract *)
 
-(** [check ?plant ?fuel ?seed ?rerand p] — full matrix at compile seed
-    [seed] (default 3), plus the full configuration recompiled at each
-    seed in [rerand] (default [[1003; 2003]]) to assert equivalence across
-    rerandomized variants. [fuel] caps reference interpretation (default
-    5M IR steps); the machine budget is 40x that. *)
+(** [check ?plant ?fuel ?seed ?rerand ?jobs p] — full matrix at compile
+    seed [seed] (default 3), plus the full configuration recompiled at
+    each seed in [rerand] (default [[1003; 2003]]) to assert equivalence
+    across rerandomized variants. [fuel] caps reference interpretation
+    (default 5M IR steps); the machine budget is 40x that. The matrix
+    points are independent compile+run pairs and fan out over a
+    {!R2c_util.Parallel} domain pool capped at [jobs]; the verdict is
+    independent of [jobs]. *)
 val check :
-  ?plant:plant -> ?fuel:int -> ?seed:int -> ?rerand:int list -> Ir.program -> verdict
+  ?plant:plant ->
+  ?fuel:int -> ?seed:int -> ?rerand:int list -> ?jobs:int -> Ir.program -> verdict
 
 (** [diverges ?plant ?fuel ~seed ~cfg p] — single-point oracle, the
     shrinker's predicate: true iff [p] validates, the reference run

@@ -1,5 +1,6 @@
 module Table = R2c_util.Table
 module Stats = R2c_util.Stats
+module Parallel = R2c_util.Parallel
 
 type machine_result = {
   machine : string;
@@ -7,17 +8,37 @@ type machine_result = {
   geomean : float;
 }
 
-let run ?(seeds = [ 5; 13; 29 ]) () =
+(* The machine x benchmark matrix is embarrassingly parallel: every cell
+   compiles and runs its own images. Flattening both axes into one task
+   list keeps all domains busy even when one machine's column is slower
+   than another's; [Parallel.map] preserves cell order, so regrouping by
+   machine reproduces the serial result exactly. *)
+let run ?(seeds = [ 5; 13; 29 ]) ?jobs () =
   let cfg = R2c_core.Dconfig.full () in
-  List.map
-    (fun profile ->
-      let per_benchmark = Measure.suite_overheads ~profile ~seeds cfg in
+  let machines = R2c_machine.Cost.all_machines in
+  let benchmarks = R2c_workloads.Spec.all () in
+  let cells =
+    List.concat_map
+      (fun profile ->
+        List.map (fun (b : R2c_workloads.Spec.benchmark) -> (profile, b)) benchmarks)
+      machines
+  in
+  let overheads =
+    Parallel.map ?jobs
+      (fun ((profile : R2c_machine.Cost.profile), (b : R2c_workloads.Spec.benchmark)) ->
+        (b.name, Measure.overhead ~profile ~seeds cfg b.program))
+      cells
+  in
+  List.mapi
+    (fun i (profile : R2c_machine.Cost.profile) ->
+      let nb = List.length benchmarks in
+      let per_benchmark = List.filteri (fun j _ -> j / nb = i) overheads in
       {
         machine = profile.R2c_machine.Cost.name;
         per_benchmark;
         geomean = Stats.geomean (List.map snd per_benchmark);
       })
-    R2c_machine.Cost.all_machines
+    machines
 
 let bar width ratio =
   (* Scale: 25% overhead = full width. *)

@@ -9,7 +9,12 @@ type machine_result = {
   geomean : float;
 }
 
-val run : ?seeds:int list -> unit -> machine_result list
+(** [run ?seeds ?jobs ()] — the full machine x benchmark matrix. Cells
+    are independent (each compiles and runs its own images), so they fan
+    out over a {!R2c_util.Parallel} domain pool; [jobs] caps the pool
+    (default [Parallel.default_jobs ()], serial when 1). The result is
+    identical to the serial run regardless of [jobs]. *)
+val run : ?seeds:int list -> ?jobs:int -> unit -> machine_result list
 
 (** [print results] — one column per machine plus an ASCII rendering of the
     figure's bars. *)

@@ -26,19 +26,24 @@ let measure_one ~seed name program =
     btdp_share = float_of_int (r2c - without_btdp) /. float_of_int overhead_bytes;
   }
 
-let run ?(seed = 17) () =
-  let spec =
+let run ?(seed = 17) ?jobs () =
+  (* One flat task list over both suites: each row compiles three images
+     (base, full, full-minus-BTDP) and runs them, all from this row's own
+     inputs — independent work fanned out over the domain pool. *)
+  let spec_tasks =
     List.map
-      (fun (b : R2c_workloads.Spec.benchmark) -> measure_one ~seed b.name b.program)
+      (fun (b : R2c_workloads.Spec.benchmark) () -> measure_one ~seed b.name b.program)
       (R2c_workloads.Spec.all ())
   in
-  let web =
+  let web_tasks =
     List.map
-      (fun (fl, name) ->
+      (fun (fl, name) () ->
         measure_one ~seed name (R2c_workloads.Webserver.server fl ~requests:200))
       [ (`Nginx, "nginx"); (`Apache, "apache") ]
   in
-  (spec, web)
+  let rows = R2c_util.Parallel.tasks ?jobs (spec_tasks @ web_tasks) in
+  let nspec = List.length spec_tasks in
+  (List.filteri (fun i _ -> i < nspec) rows, List.filteri (fun i _ -> i >= nspec) rows)
 
 let print (spec, web) =
   let render rows =

@@ -10,6 +10,10 @@ type row = {
   btdp_share : float;  (** of the overhead attributable to BTDP pages *)
 }
 
-val run : ?seed:int -> unit -> row list * row list  (** (spec, webserver) *)
+(** [run ?seed ?jobs ()] — per-workload rows, fanned out over a
+    {!R2c_util.Parallel} domain pool ([jobs] caps it; results are
+    independent of [jobs]). *)
+val run : ?seed:int -> ?jobs:int -> unit -> row list * row list
+(** (spec, webserver) *)
 
 val print : row list * row list -> unit

@@ -49,15 +49,20 @@ let frame_census ~seed =
     values;
   (!text_candidates, !benign_heap, !btdp)
 
-let run ?(trials = 8) () =
-  let censuses = List.init trials (fun i -> frame_census ~seed:((i * 7) + 1)) in
+let run ?(trials = 8) ?jobs () =
+  (* Every trial builds its own victim from its own seed — an
+     embarrassingly parallel campaign, fanned out over the domain pool.
+     [Parallel.map] keeps trial order, so the statistics match the serial
+     run exactly. *)
+  let parallel_init n f = R2c_util.Parallel.mapi ?jobs (fun i () -> f i) (List.init n (fun _ -> ())) in
+  let censuses = parallel_init trials (fun i -> frame_census ~seed:((i * 7) + 1)) in
   let mean f = Stats.mean (List.map f censuses) in
   let ra_candidates_mean = mean (fun (c, _, _) -> float_of_int c) in
   let heap_benign_mean = mean (fun (_, h, _) -> float_of_int h) in
   let heap_btdp_mean = mean (fun (_, _, b) -> float_of_int b) in
   (* AOCR battery. *)
   let aocr_reports =
-    List.init trials (fun i ->
+    parallel_init trials (fun i ->
         let seed = (i * 3) + 1 in
         let target =
           Oracle.attach ~break_sym:Vulnapp.break_symbol
@@ -75,7 +80,7 @@ let run ?(trials = 8) () =
   in
   let brop_trials = max 2 (trials / 3) in
   let brop_reports =
-    List.init brop_trials (fun i ->
+    parallel_init brop_trials (fun i ->
         let target =
           Oracle.attach ~break_sym:Vulnapp.break_symbol
             (Defenses.build_vulnapp r2c_nopie ~seed:((i * 11) + 3))

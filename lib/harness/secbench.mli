@@ -24,5 +24,8 @@ type t = {
   brop_detections : int;
 }
 
-val run : ?trials:int -> unit -> t
+(** [run ?trials ?jobs ()] — the frame-census, AOCR and Blind-ROP trial
+    batteries, fanned out per trial over a {!R2c_util.Parallel} domain
+    pool ([jobs] caps it; results are independent of [jobs]). *)
+val run : ?trials:int -> ?jobs:int -> unit -> t
 val print : t -> unit

@@ -25,6 +25,8 @@ type t = {
   shadow : int list ref;  (* shadow stack of return addresses (CFI) *)
   inject : Inject.t option;  (* chaos fault injector, if attached *)
   mutable observer : observer option;  (* per-step hook; None = no cost *)
+  mutable pdecode : Image.pslot array option;
+      (* predecoded text, built on first fast-path run *)
 }
 
 let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
@@ -55,6 +57,7 @@ let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
       shadow = ref [];
       inject;
       observer = None;
+      pdecode = None;
     }
   in
   t.regs.(Insn.reg_index RSP) <- rsp;
@@ -257,23 +260,12 @@ let step_builtin t name =
     t.rip <- ra
   end
 
-let step_uninstrumented t =
-  if t.halted then invalid_arg "Cpu.step: halted";
-  (match t.inject with
-  | Some inj -> Inject.on_step inj ~mem:t.mem ~rip:t.rip
-  | None -> ());
-  let rip = t.rip in
-  (match Mem.perm_at t.mem rip with
-  | Some p when p.Perm.exec -> ()
-  | Some _ | None -> Fault.raise_fault (Segv { addr = rip; access = Exec }));
-  match Hashtbl.find_opt t.image.Image.builtin_addrs rip with
-  | Some name -> step_builtin t name
-  | None ->
-  let insn, size =
-    match Image.code_at t.image rip with
-    | Some (i, len) -> (i, len)
-    | None -> Fault.raise_fault (Invalid_opcode { addr = rip })
-  in
+(* The per-instruction core shared by the reference and fast-path fetchers:
+   icache charge, cycle accounting, and the dispatch itself. Both dispatch
+   flavours funnel here, so they cannot disagree on execution semantics —
+   only the fetch (hash probes vs predecoded array) differs, and the
+   differential tests pin that down. *)
+let execute t rip insn size =
   let misses = Icache.access t.icache ~addr:rip ~len:size in
   t.cycles <-
     t.cycles
@@ -394,6 +386,24 @@ let step_uninstrumented t =
       t.halted <- true;
       t.exit_code <- reg_get t RAX
 
+(* Reference dispatch: permission probe, builtin hash probe, then the
+   [code] hash probe. Kept verbatim as the slow tier of the two-version
+   contract (OSR-style): the fast path below must be bit-identical to
+   this. *)
+let step_uninstrumented t =
+  if t.halted then invalid_arg "Cpu.step: halted";
+  (match t.inject with
+  | Some inj -> Inject.on_step inj ~mem:t.mem ~rip:t.rip
+  | None -> ());
+  let rip = t.rip in
+  Mem.check_exec t.mem rip;
+  match Hashtbl.find_opt t.image.Image.builtin_addrs rip with
+  | Some name -> step_builtin t name
+  | None -> (
+      match Image.code_at t.image rip with
+      | Some (insn, size) -> execute t rip insn size
+      | None -> Fault.raise_fault (Invalid_opcode { addr = rip }))
+
 (* The observation wrapper: with no observer attached, [step] is the bare
    interpreter — the cycle totals are bit-identical. With one, the hook
    fires after every retired instruction (and, so post-mortems see the
@@ -421,7 +431,7 @@ let set_observer t obs = t.observer <- obs
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 
-let run t ~fuel =
+let run_reference t ~fuel =
   let rec go budget =
     if t.halted then Halted
     else if budget <= 0 then Fuel_exhausted
@@ -432,13 +442,54 @@ let run t ~fuel =
   in
   try go fuel with Fault.Fault f -> Faulted f
 
+let predecoded t =
+  match t.pdecode with
+  | Some pd -> pd
+  | None ->
+      let pd = Image.predecode t.image in
+      t.pdecode <- Some pd;
+      pd
+
+(* Fast tier: the observer and injector dispatches are hoisted out of the
+   loop entirely (this loop only runs when neither is attached), and the
+   fetch is one TLB exec probe plus one array read into the predecoded
+   text. Out-of-text rip falls through to Invalid_opcode exactly as the
+   reference fetch reports it: neither hash table can match outside the
+   text segment. *)
+let run_fast t ~fuel =
+  let pd = predecoded t in
+  let base = t.image.Image.text_base in
+  let len = Array.length pd in
+  let rec go budget =
+    if t.halted then Halted
+    else if budget <= 0 then Fuel_exhausted
+    else begin
+      let rip = t.rip in
+      Mem.check_exec t.mem rip;
+      let off = rip - base in
+      (if off >= 0 && off < len then
+         match Array.unsafe_get pd off with
+         | Image.P_insn (insn, size) -> execute t rip insn size
+         | Image.P_builtin name -> step_builtin t name
+         | Image.P_none -> Fault.raise_fault (Invalid_opcode { addr = rip })
+       else Fault.raise_fault (Invalid_opcode { addr = rip }));
+      go (budget - 1)
+    end
+  in
+  try go fuel with Fault.Fault f -> Faulted f
+
+let run t ~fuel =
+  match (t.observer, t.inject) with
+  | None, None -> run_fast t ~fuel
+  | _ -> run_reference t ~fuel
+
 let run_until t ~fuel ~break =
-  let break = List.sort_uniq compare break in
-  let is_break rip = List.mem rip break in
+  let bset = Hashtbl.create (max 8 (List.length break)) in
+  List.iter (fun a -> Hashtbl.replace bset a ()) break;
   let rec go budget =
     if t.halted then Error Halted
     else if budget <= 0 then Error Fuel_exhausted
-    else if is_break t.rip then Ok ()
+    else if Hashtbl.mem bset t.rip then Ok ()
     else begin
       step t;
       go (budget - 1)

@@ -57,6 +57,10 @@ type t = {
   mutable observer : observer option;
       (** per-step hook ({!set_observer}); [None] (the default) costs
           nothing *)
+  mutable pdecode : Image.pslot array option;
+      (** predecoded text ({!Image.predecode}), built lazily on the first
+          fast-path {!run}; step-only uses (tracers, attack oracles) never
+          pay for it *)
 }
 
 (** [create ?strict_align ?inject ~profile ~mem ~heap image ~rip ~rsp] —
@@ -79,12 +83,23 @@ val set_observer : t -> observer option -> unit
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 
-(** [run t ~fuel] steps until halt, fault, or [fuel] instructions. *)
+(** [run t ~fuel] steps until halt, fault, or [fuel] instructions. With no
+    observer and no injector attached it takes the predecoded fast path —
+    contractually bit-identical to {!run_reference} in cycles, insns,
+    icache misses, faults, and output; otherwise it falls back to the
+    reference dispatch. *)
 val run : t -> fuel:int -> run_result
+
+(** [run_reference t ~fuel] — the slow tier of the two-version contract:
+    steps via the reference (hash-probing) dispatch regardless of
+    attachments. The differential tests run every program through both
+    tiers and require identical architectural state and counters. *)
+val run_reference : t -> fuel:int -> run_result
 
 (** [run_until t ~fuel ~break] like {!run} but also stops (returning
     [Ok ()]) just before executing the instruction at an address in
-    [break]. *)
+    [break]. Breakpoint membership is a hash probe, O(1) per step in the
+    number of breakpoints. *)
 val run_until : t -> fuel:int -> break:int list -> (unit, run_result) result
 
 (** [output t] — program output so far. *)

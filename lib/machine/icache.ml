@@ -25,17 +25,31 @@ let access t ~addr ~len =
   assert (len > 0);
   let first = addr lsr t.line_shift in
   let last = (addr + len - 1) lsr t.line_shift in
-  let misses = ref 0 in
-  for line = first to last do
+  if first = last then begin
+    (* Single-line fetch — the overwhelmingly common case for our short
+       instructions — skips the loop and the miss accumulator. *)
     t.access_count <- t.access_count + 1;
-    let slot = line land (t.lines - 1) in
-    if t.tags.(slot) <> line then begin
-      t.tags.(slot) <- line;
-      incr misses
+    let slot = first land (t.lines - 1) in
+    if t.tags.(slot) <> first then begin
+      t.tags.(slot) <- first;
+      t.miss_count <- t.miss_count + 1;
+      1
     end
-  done;
-  t.miss_count <- t.miss_count + !misses;
-  !misses
+    else 0
+  end
+  else begin
+    let misses = ref 0 in
+    for line = first to last do
+      t.access_count <- t.access_count + 1;
+      let slot = line land (t.lines - 1) in
+      if t.tags.(slot) <> line then begin
+        t.tags.(slot) <- line;
+        incr misses
+      end
+    done;
+    t.miss_count <- t.miss_count + !misses;
+    !misses
+  end
 
 let reset t =
   Array.fill t.tags 0 t.lines (-1);

@@ -82,3 +82,23 @@ let opcode_tag : Insn.t -> int = function
 let encode_byte insn k =
   if k = 0 then opcode_tag insn
   else (opcode_tag insn * 31 + k * 17) land 0xff
+
+(* Predecoded text: one dense array slot per text byte, so the fast-path
+   interpreter's fetch is a single bounds-checked array read instead of a
+   [builtin_addrs] probe followed by a [code] probe. Slots between
+   instruction starts stay [P_none] — jumping into the middle of an
+   instruction is an invalid opcode, exactly as [code_at] reports it. *)
+type pslot =
+  | P_none
+  | P_insn of Insn.t * int
+  | P_builtin of string
+
+let predecode img =
+  let table = Array.make (max 1 img.text_len) P_none in
+  Array.iter
+    (fun (addr, insn, len) -> table.(addr - img.text_base) <- P_insn (insn, len))
+    img.code_list;
+  Hashtbl.iter
+    (fun addr name -> table.(addr - img.text_base) <- P_builtin name)
+    img.builtin_addrs;
+  table

@@ -74,3 +74,18 @@ val func_of_addr : t -> int -> func_info option
 (** [encode_byte insn k] — [k]-th byte of the pseudo-encoding of [insn];
     used by the loader to fill text pages. *)
 val encode_byte : Insn.t -> int -> int
+
+(** A predecoded text slot: what sits at one byte offset into the text
+    segment. [P_none] marks bytes that are not an instruction start
+    (padding, instruction interiors) — executing one is an invalid
+    opcode. *)
+type pslot =
+  | P_none
+  | P_insn of Insn.t * int  (** decoded instruction and byte length *)
+  | P_builtin of string  (** intercepted library entry *)
+
+(** [predecode img] — the dense fetch table for the fast-path interpreter,
+    indexed by [addr - text_base] over [\[0, text_len)]. One O(1) array
+    read replaces the per-step [builtin_addrs] + [code] hash probes; the
+    result agrees with [code_at]/[is_builtin] at every address. *)
+val predecode : t -> pslot array

@@ -4,24 +4,73 @@ type page = {
   data : Bytes.t;
 }
 
+(* Direct-mapped software TLB. Each slot caches one page's data bytes plus
+   its *decoded* permission bits, so the hot accessors never chase the
+   page record or the [Perm.t] under it. Because the permission bits are
+   copied out, every in-place page mutation — [map], [unmap], and crucially
+   [protect]/[tag_guard], which change [perm]/[guard] without touching the
+   page table — must invalidate the TLB or a read could be served under a
+   permission that no longer exists. *)
+type tlb_entry = {
+  mutable e_index : int;  (* cached page index; -1 = invalid *)
+  mutable e_data : Bytes.t;
+  mutable e_read : bool;
+  mutable e_write : bool;
+  mutable e_exec : bool;
+  mutable e_guard : bool;
+}
+
+let tlb_slots = 64
+let tlb_mask = tlb_slots - 1
+
 type t = {
   pages : (int, page) Hashtbl.t;
-  mutable last_index : int;  (* one-entry lookup cache *)
-  mutable last_page : page option;
+  tlb : tlb_entry array;
   mutable max_resident : int;
 }
 
-let create () =
-  { pages = Hashtbl.create 1024; last_index = -1; last_page = None; max_resident = 0 }
+let no_bytes = Bytes.create 0
 
-let find_page t index =
-  if t.last_index = index then t.last_page
-  else begin
-    let p = Hashtbl.find_opt t.pages index in
-    t.last_index <- index;
-    t.last_page <- p;
-    p
-  end
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    tlb =
+      Array.init tlb_slots (fun _ ->
+          {
+            e_index = -1;
+            e_data = no_bytes;
+            e_read = false;
+            e_write = false;
+            e_exec = false;
+            e_guard = false;
+          });
+    max_resident = 0;
+  }
+
+let tlb_invalidate t =
+  for i = 0 to tlb_slots - 1 do
+    t.tlb.(i).e_index <- -1
+  done
+
+(* Miss path: probe the page table and refill the direct-mapped slot. *)
+let tlb_fill t index =
+  match Hashtbl.find_opt t.pages index with
+  | None -> None
+  | Some p ->
+      let e = t.tlb.(index land tlb_mask) in
+      e.e_index <- index;
+      e.e_data <- p.data;
+      e.e_read <- p.perm.Perm.read;
+      e.e_write <- p.perm.Perm.write;
+      e.e_exec <- p.perm.Perm.exec;
+      e.e_guard <- p.guard;
+      Some e
+
+let tlb_lookup t index =
+  let e = t.tlb.(index land tlb_mask) in
+  if e.e_index = index then Some e else tlb_fill t index
+
+let find_page t index = Hashtbl.find_opt t.pages index
 
 let page_range addr len =
   assert (len > 0);
@@ -35,8 +84,7 @@ let map t addr len perm =
     Hashtbl.replace t.pages i
       { perm; guard = false; data = Bytes.make Addr.page_size '\000' }
   done;
-  t.last_index <- -1;
-  t.last_page <- None;
+  tlb_invalidate t;
   t.max_resident <- max t.max_resident (Hashtbl.length t.pages)
 
 let unmap t addr len =
@@ -44,8 +92,7 @@ let unmap t addr len =
   for i = first to last do
     Hashtbl.remove t.pages i
   done;
-  t.last_index <- -1;
-  t.last_page <- None
+  tlb_invalidate t
 
 let protect t addr len perm =
   let first, last = page_range addr len in
@@ -54,7 +101,8 @@ let protect t addr len perm =
     | Some p -> p.perm <- perm
     | None ->
         invalid_arg (Printf.sprintf "Mem.protect: page 0x%x unmapped" (i lsl Addr.page_shift))
-  done
+  done;
+  tlb_invalidate t
 
 let tag_guard t addr len =
   let first, last = page_range addr len in
@@ -64,7 +112,8 @@ let tag_guard t addr len =
     | None ->
         invalid_arg
           (Printf.sprintf "Mem.tag_guard: page 0x%x unmapped" (i lsl Addr.page_shift))
-  done
+  done;
+  tlb_invalidate t
 
 let is_mapped t addr = Hashtbl.mem t.pages (Addr.page_of addr)
 
@@ -75,51 +124,72 @@ let fault_access addr access guard =
   if guard then Fault.raise_fault (Guard_page { addr; access })
   else Fault.raise_fault (Segv { addr; access })
 
-let checked_page t addr (access : Fault.access) =
-  match find_page t (Addr.page_of addr) with
+let checked_entry t addr (access : Fault.access) =
+  match tlb_lookup t (Addr.page_of addr) with
   | None -> Fault.raise_fault (Segv { addr; access })
-  | Some p ->
+  | Some e ->
       let allowed =
         match access with
-        | Read -> p.perm.Perm.read
-        | Write -> p.perm.Perm.write
-        | Exec -> p.perm.Perm.exec
+        | Read -> e.e_read
+        | Write -> e.e_write
+        | Exec -> e.e_exec
       in
-      if not allowed then fault_access addr access p.guard;
-      p
+      if not allowed then fault_access addr access e.e_guard;
+      e
+
+(* The interpreter's per-fetch exec probe. Matches the historical
+   [perm_at]-based check bit for bit: an exec violation is always a plain
+   SIGSEGV, never a guard-page detection, even on a tagged page. *)
+let check_exec t addr =
+  match tlb_lookup t (Addr.page_of addr) with
+  | Some e when e.e_exec -> ()
+  | Some _ | None -> Fault.raise_fault (Segv { addr; access = Exec })
 
 let read_u8 t addr =
-  let p = checked_page t addr Read in
-  Char.code (Bytes.unsafe_get p.data (Addr.page_offset addr))
+  let e = checked_entry t addr Read in
+  Char.code (Bytes.unsafe_get e.e_data (Addr.page_offset addr))
 
 let write_u8 t addr v =
-  let p = checked_page t addr Write in
-  Bytes.unsafe_set p.data (Addr.page_offset addr) (Char.unsafe_chr (v land 0xff))
+  let e = checked_entry t addr Write in
+  Bytes.unsafe_set e.e_data (Addr.page_offset addr) (Char.unsafe_chr (v land 0xff))
 
+(* Word accessors: an 8-aligned word can never cross a page, so the
+   aligned fast path goes straight to [Bytes.get/set_int64_le] with no
+   boundary test; unaligned in-page words take the same single-probe path
+   after the boundary test, and only page-straddling words fall back to
+   byte-at-a-time. *)
 let read_u64 t addr =
-  let off = Addr.page_offset addr in
-  if off <= Addr.page_size - 8 then
-    let p = checked_page t addr Read in
-    Int64.to_int (Bytes.get_int64_le p.data off)
+  if addr land 7 = 0 then
+    let e = checked_entry t addr Read in
+    Int64.to_int (Bytes.get_int64_le e.e_data (Addr.page_offset addr))
     (* The int64->int truncation drops bit 63; our address space and
        workload arithmetic never exercise it. *)
-  else begin
-    let v = ref 0 in
-    for i = 7 downto 0 do
-      v := (!v lsl 8) lor read_u8 t (addr + i)
-    done;
-    !v
-  end
+  else
+    let off = Addr.page_offset addr in
+    if off <= Addr.page_size - 8 then
+      let e = checked_entry t addr Read in
+      Int64.to_int (Bytes.get_int64_le e.e_data off)
+    else begin
+      let v = ref 0 in
+      for i = 7 downto 0 do
+        v := (!v lsl 8) lor read_u8 t (addr + i)
+      done;
+      !v
+    end
 
 let write_u64 t addr v =
-  let off = Addr.page_offset addr in
-  if off <= Addr.page_size - 8 then
-    let p = checked_page t addr Write in
-    Bytes.set_int64_le p.data off (Int64.of_int v)
+  if addr land 7 = 0 then
+    let e = checked_entry t addr Write in
+    Bytes.set_int64_le e.e_data (Addr.page_offset addr) (Int64.of_int v)
   else
-    for i = 0 to 7 do
-      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
-    done
+    let off = Addr.page_offset addr in
+    if off <= Addr.page_size - 8 then
+      let e = checked_entry t addr Write in
+      Bytes.set_int64_le e.e_data off (Int64.of_int v)
+    else
+      for i = 0 to 7 do
+        write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+      done
 
 let read_bytes t addr len =
   let b = Bytes.create len in

@@ -6,6 +6,11 @@
     and resident-set accounting for the memory-overhead experiment
     (Section 6.2.5).
 
+    Checked accesses are served through a small direct-mapped software TLB
+    caching each hot page's bytes and decoded permission bits; [map],
+    [unmap], {!protect} and {!tag_guard} all invalidate it, so an in-place
+    permission change is visible on the very next access.
+
     All checked accessors raise {!Fault.Fault}. The [peek]/[poke] variants
     ignore permissions — they model the defender/experimenter's view (e.g.
     loaders and ground-truth checks in tests), never the attacker's. *)
@@ -33,6 +38,12 @@ val is_mapped : t -> int -> bool
 
 (** [perm_at t addr] — permissions of the page holding [addr], if mapped. *)
 val perm_at : t -> int -> Perm.t option
+
+(** [check_exec t addr] — the interpreter's per-fetch probe: returns [()]
+    when the page holding [addr] is mapped executable, raises
+    [Fault.Segv { access = Exec }] otherwise (never [Guard_page], matching
+    the historical [perm_at]-based check). Served from the software TLB. *)
+val check_exec : t -> int -> unit
 
 (** Checked accessors (raise {!Fault.Fault} on violation). Multi-byte
     accesses may cross page boundaries. *)

@@ -401,6 +401,67 @@ let test_crash_accounting_across_restarts () =
   Alcotest.(check int) "restarts counted" 3 p.Process.restarts;
   Alcotest.(check bool) "detected flag" true (Process.detected p)
 
+let test_run_until_many_breakpoints () =
+  (* Regression for the breakpoint-set representation: run_until now
+     probes a hash set instead of List.mem. With 64 breakpoints, the stop
+     sequence must match a list-based stepping loop exactly. *)
+  let insns =
+    List.init 140 (fun i -> Insn.Mov (Insn.Reg Insn.RAX, Insn.Imm (Insn.Abs i)))
+    @ [ Insn.Ret ]
+  in
+  let img = image [ ("main", insns) ] in
+  let main_entry = Image.symbol img "main" in
+  let main_fn =
+    match Image.func_of_addr img main_entry with
+    | Some f -> f
+    | None -> Alcotest.fail "main not found"
+  in
+  let in_main a = a >= main_fn.Image.entry && a < main_fn.Image.entry + main_fn.Image.code_len in
+  let main_addrs =
+    Array.to_list img.Image.code_list
+    |> List.filter_map (fun (a, _, _) -> if in_main a then Some a else None)
+  in
+  (* Every other instruction of main, capped at 64 breakpoints. *)
+  let break =
+    List.filteri (fun i _ -> i mod 2 = 1) main_addrs |> List.filteri (fun i _ -> i < 64)
+  in
+  Alcotest.(check int) "64 breakpoints" 64 (List.length break);
+  let load () = Loader.load ~strict_align:true ~profile:Cost.epyc_rome img in
+  let list_run_until cpu ~fuel =
+    (* The historical list-based advance: same check order as run_until. *)
+    let rec go budget =
+      if cpu.Cpu.halted then Error Cpu.Halted
+      else if budget <= 0 then Error Cpu.Fuel_exhausted
+      else if List.mem cpu.Cpu.rip break then Ok ()
+      else begin
+        Cpu.step cpu;
+        go (budget - 1)
+      end
+    in
+    try go fuel with Fault.Fault f -> Error (Cpu.Faulted f)
+  in
+  let stops advance cpu =
+    let acc = ref [] in
+    let rec go () =
+      match advance cpu with
+      | Ok () ->
+          acc := cpu.Cpu.rip :: !acc;
+          Cpu.step cpu;
+          go ()
+      | Error r -> (List.rev !acc, r, cpu.Cpu.insns, Cpu.reg_get cpu Insn.RAX)
+    in
+    go ()
+  in
+  let fast = stops (fun c -> Cpu.run_until c ~fuel:10_000 ~break) (load ()) in
+  let slow = stops (fun c -> list_run_until c ~fuel:10_000) (load ()) in
+  let s_fast, r_fast, i_fast, rax_fast = fast in
+  let s_slow, r_slow, i_slow, rax_slow = slow in
+  Alcotest.(check (list int)) "stop sequence" s_slow s_fast;
+  Alcotest.(check int) "64 stops hit" 64 (List.length s_fast);
+  Alcotest.(check bool) "both halted" true (r_fast = Cpu.Halted && r_slow = Cpu.Halted);
+  Alcotest.(check int) "insns" i_slow i_fast;
+  Alcotest.(check int) "final rax" rax_slow rax_fast
+
 let suite =
   [
     ( "cpu",
@@ -431,5 +492,7 @@ let suite =
         Alcotest.test_case "restart refills fuel" `Quick test_restart_refills_fuel;
         Alcotest.test_case "crash accounting across restarts" `Quick
           test_crash_accounting_across_restarts;
+        Alcotest.test_case "run_until with 64 breakpoints" `Quick
+          test_run_until_many_breakpoints;
       ] );
   ]

@@ -100,6 +100,41 @@ let test_maxrss_tracking () =
   Alcotest.(check int) "resident now" 0 (Mem.mapped_pages m);
   Alcotest.(check int) "high water" 16 (Mem.max_mapped_pages m)
 
+let test_tlb_invalidated_by_protect () =
+  (* Regression: the direct-mapped page TLB caches decoded permission
+     bits, so protect/tag_guard must flush it — a cache-warm entry from
+     before the permission change must not be honoured afterwards. *)
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.write_u64 m 0x10000 7;
+  Alcotest.(check int) "warm read before protect" 7 (Mem.read_u64 m 0x10000);
+  Mem.protect m 0x10000 4096 Perm.none;
+  check_fault "read after mprotect none" "SIGSEGV: read at 0x10000" (fun () ->
+      Mem.read_u64 m 0x10000);
+  Mem.tag_guard m 0x10000 4096;
+  match Mem.read_u64 m 0x10000 with
+  | exception Fault.Fault f ->
+      Alcotest.(check bool) "guard tag visible after warm entry" true (Fault.is_detection f)
+  | _ -> Alcotest.fail "expected a guard fault"
+
+let test_tlb_slot_aliasing () =
+  (* 0x10000 and 0x50000 are exactly 64 pages apart, so they hash to the
+     same slot of the 64-entry direct-mapped TLB. Interleaved accesses
+     evict each other every time; data and permissions must stay per-page
+     correct throughout. *)
+  let m = Mem.create () in
+  Mem.map m 0x10000 4096 Perm.rw;
+  Mem.map m 0x50000 4096 Perm.ro;
+  Mem.write_u64 m 0x10000 0xaaaa;
+  for _ = 1 to 3 do
+    Alcotest.(check int) "rw page data" 0xaaaa (Mem.read_u64 m 0x10000);
+    Alcotest.(check int) "ro page data" 0 (Mem.read_u64 m 0x50000)
+  done;
+  check_fault "aliased slot keeps ro perms" "SIGSEGV: write at 0x50000" (fun () ->
+      Mem.write_u64 m 0x50000 1);
+  Mem.write_u64 m 0x10008 0xbbbb;
+  Alcotest.(check int) "rw page still writable" 0xbbbb (Mem.read_u64 m 0x10008)
+
 let test_addr_regions () =
   Alcotest.(check string) "text" "text" (Addr.region_to_string (Addr.region_of 0x40055d));
   Alcotest.(check string) "data" "data"
@@ -127,6 +162,8 @@ let suite =
         Alcotest.test_case "unmap" `Quick test_unmap;
         Alcotest.test_case "double map rejected" `Quick test_double_map_rejected;
         Alcotest.test_case "maxrss tracking" `Quick test_maxrss_tracking;
+        Alcotest.test_case "tlb invalidated by protect" `Quick test_tlb_invalidated_by_protect;
+        Alcotest.test_case "tlb slot aliasing" `Quick test_tlb_slot_aliasing;
         Alcotest.test_case "address regions" `Quick test_addr_regions;
       ] );
   ]

@@ -1,0 +1,85 @@
+(* The Domain-pool contract: Parallel.map is an observable drop-in for
+   List.map — same results, same order, lowest-index exception — at every
+   job count, including forced multi-domain runs on single-core hosts. *)
+
+module Parallel = R2c_util.Parallel
+
+exception Boom of int
+
+let test_map_matches_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 37) land 0xffff in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Parallel.map ~jobs f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_ordering_under_skew () =
+  (* Uneven per-item work so domains finish out of claim order; results
+     must still land in input order. *)
+  let xs = List.init 40 (fun i -> i) in
+  let f x =
+    let n = if x mod 7 = 0 then 40_000 else 100 in
+    let acc = ref x in
+    for _ = 1 to n do
+      acc := ((!acc * 1103515245) + 12345) land 0x3fffffff
+    done;
+    (x, !acc)
+  in
+  Alcotest.(check bool)
+    "order preserved" true
+    (Parallel.map ~jobs:4 f xs = List.map f xs)
+
+let test_mapi_and_tasks () =
+  Alcotest.(check (list int))
+    "mapi" [ 10; 21; 32 ]
+    (Parallel.mapi ~jobs:2 (fun i x -> x + i) [ 10; 20; 30 ]);
+  Alcotest.(check (list string))
+    "tasks in thunk order" [ "a"; "b"; "c" ]
+    (Parallel.tasks ~jobs:2 [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ])
+
+let test_lowest_index_exception () =
+  (* Items 3 and 7 both raise; the caller must see item 3's exception
+     regardless of which domain hit its item first. *)
+  let f x = if x = 3 || x = 7 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f (List.init 10 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          Alcotest.(check int) (Printf.sprintf "jobs=%d raises item 3" jobs) 3 n)
+    [ 1; 4 ]
+
+let test_nested_map_degrades_serially () =
+  (* A map inside a map must not spawn a second domain pool; it runs
+     serially in the worker and still returns correct results. *)
+  let inner y = y * y in
+  let outer x = Parallel.map ~jobs:4 inner [ x; x + 1 ] in
+  Alcotest.(check (list (list int)))
+    "nested" [ [ 0; 1 ]; [ 1; 4 ]; [ 4; 9 ] ]
+    (Parallel.map ~jobs:4 outer [ 0; 1; 2 ])
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 42 ] (Parallel.map ~jobs:4 (fun x -> x + 1) [ 41 ])
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Parallel.default_jobs () >= 1)
+
+let suite =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "map = List.map at every job count" `Quick test_map_matches_list_map;
+        Alcotest.test_case "ordering under skewed work" `Quick test_ordering_under_skew;
+        Alcotest.test_case "mapi + tasks" `Quick test_mapi_and_tasks;
+        Alcotest.test_case "lowest-index exception wins" `Quick test_lowest_index_exception;
+        Alcotest.test_case "nested map degrades serially" `Quick test_nested_map_degrades_serially;
+        Alcotest.test_case "empty + singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+(* Differential tests for the two-tier interpreter dispatch: every
+   program must produce bit-identical architectural state and counters
+   under the reference (hash-probing) dispatch and the predecoded fast
+   path. This is the OSR-style equivalence contract the fast path ships
+   under — any divergence here is a fast-path bug by definition. *)
+
+open R2c_machine
+module D = R2c_core.Dconfig
+module Pipeline = R2c_core.Pipeline
+module Gen = R2c_fuzz.Gen
+module Corpus = R2c_fuzz.Corpus
+module Opts = R2c_compiler.Opts
+module Link = R2c_compiler.Link
+module Asm = R2c_compiler.Asm
+
+let fuel = 2_000_000
+
+(* Everything the contract covers, folded into one comparable string.
+   Cycles go through bits_of_float so "identical" means bit-identical,
+   not approximately equal. *)
+let fingerprint cpu result =
+  Printf.sprintf "%s|exit:%d|cycles:%Lx|insns:%d|imiss:%d|iacc:%d|depth:%d|out:%s"
+    (match result with
+    | Cpu.Halted -> "halted"
+    | Cpu.Fuel_exhausted -> "fuel"
+    | Cpu.Faulted f -> "fault:" ^ Fault.to_string f)
+    cpu.Cpu.exit_code
+    (Int64.bits_of_float cpu.Cpu.cycles)
+    cpu.Cpu.insns
+    (Icache.misses cpu.Cpu.icache)
+    (Icache.accesses cpu.Cpu.icache)
+    cpu.Cpu.max_depth (Cpu.output cpu)
+
+let check_both_tiers name img =
+  let load () = Loader.load ~strict_align:true ~profile:Cost.epyc_rome img in
+  let reference =
+    let cpu = load () in
+    fingerprint cpu (Cpu.run_reference cpu ~fuel)
+  in
+  let fast =
+    let cpu = load () in
+    fingerprint cpu (Cpu.run cpu ~fuel)
+  in
+  Alcotest.(check string) name reference fast
+
+(* 25 generator-v2 programs at pinned seeds, each compiled under the full
+   R2C config and the baseline (seed-diverse variants exercise BTRA
+   sleds, booby traps, layout shuffling through both fetch tiers). *)
+let test_generated_programs () =
+  for i = 1 to 25 do
+    let seed = 7001 + (137 * i) in
+    let p = Gen.v2 ~seed () in
+    check_both_tiers
+      (Printf.sprintf "gen seed %d full" seed)
+      (Pipeline.compile ~seed (D.full ()) p);
+    if i mod 5 = 0 then
+      check_both_tiers
+        (Printf.sprintf "gen seed %d baseline" seed)
+        (Pipeline.compile ~seed D.baseline p)
+  done
+
+(* Every committed fuzz reproducer replays through both tiers too.
+   Vacuous while the corpus is empty; load-bearing the moment a
+   divergence hunt lands a .r2c file. *)
+let test_corpus_replay () =
+  List.iter
+    (fun path ->
+      match Corpus.load path with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok p ->
+          check_both_tiers (path ^ " full") (Pipeline.compile ~seed:11 (D.full ()) p);
+          check_both_tiers (path ^ " baseline") (Pipeline.compile ~seed:11 D.baseline p))
+    (Corpus.files ~dir:"corpus")
+
+(* Fault equality: a faulting program must report the identical fault
+   (class, address, counters at detonation) from both tiers. *)
+let raw_image insns =
+  let emitted = [ Asm.of_raw { Opts.rname = "main"; rinsns = insns; rbooby_trap = false } ] in
+  Link.link ~opts:Opts.default ~main:"main" emitted []
+
+let test_fault_equality () =
+  check_both_tiers "div by zero"
+    (raw_image
+       Insn.[ Mov (Reg RAX, Imm (Abs 1)); Mov (Reg RBX, Imm (Abs 0)); Div (RAX, Reg RBX); Ret ]);
+  check_both_tiers "wild store"
+    (raw_image
+       Insn.[ Mov (Reg RAX, Imm (Abs 0x666000)); Mov (Mem (mem ~base:RAX ()), Imm (Abs 1)); Ret ]);
+  check_both_tiers "trap"
+    (raw_image Insn.[ Trap ])
+
+(* Fuel exhaustion must cut both tiers at the same instruction. *)
+let test_fuel_equality () =
+  let img =
+    raw_image Insn.[ Binop (Add, RCX, Imm (Abs 1)); Jmp (TSym ("main", 0)) ]
+  in
+  let load () = Loader.load ~strict_align:true ~profile:Cost.epyc_rome img in
+  let fp run =
+    let cpu = load () in
+    fingerprint cpu (run cpu ~fuel:997)
+  in
+  Alcotest.(check string) "fuel cut" (fp Cpu.run_reference) (fp Cpu.run)
+
+let suite =
+  [
+    ( "perf",
+      [
+        Alcotest.test_case "25 pinned-seed programs, both tiers" `Quick test_generated_programs;
+        Alcotest.test_case "corpus replay, both tiers" `Quick test_corpus_replay;
+        Alcotest.test_case "fault equality" `Quick test_fault_equality;
+        Alcotest.test_case "fuel-exhaustion equality" `Quick test_fuel_equality;
+      ] );
+  ]
