@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench bench-json audit profile fuzz
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet
 
 all: build
 
@@ -30,7 +30,15 @@ profile:
 fuzz:
 	dune exec bin/experiments.exe -- fuzz --seed 11 --count 100 --self-check
 
-check: build test audit profile fuzz
+# Fleet-scale chaos SLO: 100k simulated requests over 4 shards with
+# epoch-based live rerandomization under fault injection. Exits nonzero
+# unless availability >= 99.9%, >= 3 rotations completed, and rotation
+# caused zero drops. The one-line report lands in fleet_out.json (CI
+# archives it next to bench_out.json).
+fleet:
+	dune exec bin/experiments.exe -- fleet --seed 11 --json-out fleet_out.json
+
+check: build test audit profile fuzz fleet
 
 examples:
 	dune build examples

@@ -46,6 +46,11 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "extensions",
       "Section 7.1/7.3 extensions: race window, RA zeroing vs checks, MVEE",
       fun () -> Extension_demos.run () );
+    ( "fleet",
+      "Sharded fleet under chaos with epoch-based live rerandomization (small campaign)",
+      fun () ->
+        R2c_harness.Fleetbench.(
+          print (run ~seed:11 ~requests:20_000 ~epoch_cycles:4_000_000 ())) );
   ]
 
 (* --- Bechamel: one Test.make per artifact, timing the regeneration

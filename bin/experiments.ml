@@ -391,6 +391,74 @@ let fuzz_cmd =
           variants); divergences are delta-debugged to minimal .r2c reproducers.")
     Term.(const run $ seed $ count $ fuel $ self_check $ corpus $ jobs)
 
+let fleet_cmd =
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign master seed.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Simulated requests in the campaign.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Serving shards (pools).")
+  in
+  let epoch_cycles =
+    Arg.(
+      value
+      & opt int R2c_runtime.Fleet.default_config.R2c_runtime.Fleet.epoch_cycles
+      & info [ "epoch-cycles" ] ~docv:"CYCLES"
+          ~doc:"Live-rerandomization period: rotate every CYCLES fleet cycles.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for background epoch compiles (0 = auto: \\$R2C_JOBS or \
+             the recommended domain count; 1 = serial). The report is identical at any \
+             width.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
+  in
+  let run seed requests shards epoch_cycles jobs json_out =
+    let module FB = R2c_harness.Fleetbench in
+    let effective_jobs =
+      if jobs > 0 then jobs else R2c_util.Parallel.default_jobs ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = FB.run ~seed ~requests ~shards ~epoch_cycles ~jobs () in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    FB.print r;
+    let line = R2c_obs.Json.to_string (FB.json ~jobs:effective_jobs ~wall_ms r) in
+    print_endline line;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc line;
+        output_char oc '\n';
+        close_out oc);
+    (* The SLO gate: the campaign must have fleet scale (>= 100k requests,
+       >= 4 shards), live diversity (>= 3 completed rotations), perfect
+       rotations (zero rotation-caused drops) and >= 99.9% availability. *)
+    match FB.gate r with
+    | [] -> 0
+    | fails ->
+        List.iter (fun m -> Printf.eprintf "fleet: SLO gate failed: %s\n" m) fails;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Sharded serving fleet under chaos: >=100k simulated requests across load-\
+          balanced pools with admission control and epoch-based live rerandomization; \
+          exits nonzero unless availability >= 99.9% with zero rotation-caused drops.")
+    Term.(const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ json_out)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -414,5 +482,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            fuzz_cmd; all_cmd;
+            fuzz_cmd; fleet_cmd; all_cmd;
           ]))

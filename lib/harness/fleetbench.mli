@@ -1,0 +1,65 @@
+(** Fleet-scale chaos campaign (E-FLEET).
+
+    Drives {!R2c_runtime.Fleet} over the lean {!Fleetapp} workload: a
+    deterministic stream of ≥100k simulated requests while the PR-1 chaos
+    injector flips bits, corrupts loads and raises spurious faults inside
+    the shard workers, and the fleet live-rotates through fresh diversity
+    epochs on its cycle timer. The campaign is the robustness argument for
+    the serving tier: under sustained low-grade chaos plus continuous
+    rerandomization, availability holds ≥ 99.9% and rotation itself drops
+    nothing.
+
+    The {!report} is bit-identical at any Domain-pool width ([?jobs] /
+    [R2C_JOBS]): parallelism only accelerates background epoch compiles,
+    never reorders a randomized decision. Wall-clock and job-count are
+    therefore kept out of the report and only appended (last) to the JSON
+    by the caller. *)
+
+(** Chaos rates applied inside every shard worker (the injection sweep's
+    "light" mix). *)
+val light_rates : R2c_machine.Inject.rates
+
+(** Diversity configuration the shard images are compiled under. *)
+val fleet_dconfig : R2c_core.Dconfig.t
+
+type report = {
+  seed : int;
+  requests : int;  (** requested campaign length *)
+  shards : int;
+  epoch_cycles : int;
+  fleet : R2c_runtime.Fleet.stats;
+  pool : R2c_runtime.Pool.stats;
+      (** shard-pool totals across every epoch, retired pools included *)
+  clock : int;  (** final fleet clock (cycles) *)
+  epochs : int;  (** completed rotations *)
+  p50 : int;  (** request-latency median, cycles *)
+  p99 : int;  (** request-latency tail, cycles *)
+  availability : float;
+}
+
+val run :
+  ?seed:int ->
+  ?requests:int ->
+  ?shards:int ->
+  ?epoch_cycles:int ->
+  ?jobs:int ->
+  unit ->
+  report
+
+(** [gate r] — the E-FLEET SLO checks; returns the list of violated
+    criteria (empty = pass): campaign length, shard count, completed
+    rotations, zero rotation-caused drops, availability floor. *)
+val gate :
+  ?min_requests:int ->
+  ?min_shards:int ->
+  ?min_rotations:int ->
+  ?min_availability:float ->
+  report ->
+  string list
+
+(** [json ?jobs ?wall_ms r] — the one-line campaign summary. Deterministic
+    fields first; [jobs] and [wall_ms] (when given) are appended last so a
+    serial-vs-parallel diff can strip them. *)
+val json : ?jobs:int -> ?wall_ms:float -> report -> R2c_obs.Json.t
+
+val print : report -> unit

@@ -110,6 +110,7 @@ type postmortem = { pm_clock : int; pm_wid : int; pm_fault : string; pm_tail : s
 
 type t = {
   cfg : config;
+  ns : string;  (* metric-name prefix: lets shards share one registry *)
   build : seed:int -> Image.t;
   break_sym : string;
   rng : Rng.t;
@@ -118,6 +119,7 @@ type t = {
   mutable clock : int;
   mutable rr : int;
   mutable escalated : bool;
+  mutable shut : bool;
   mutable mvee_images : Image.t list;
   mutable sensitive : (int * int) list;
   mutable obs : Obs.Sink.t option;
@@ -143,9 +145,9 @@ let observe_worker t w =
       w.ring <- Some ring;
       Trace.attach ring w.proc.Process.cpu
 
-let register_instruments (sink : Obs.Sink.t) =
+let register_instruments ~ns (sink : Obs.Sink.t) =
   let m = sink.Obs.Sink.metrics in
-  let c name help = Obs.Metrics.counter ~help m name in
+  let c name help = Obs.Metrics.counter ~help m (ns ^ name) in
   {
     i_requests = c "pool_requests_total" "requests submitted to the pool";
     i_served = c "pool_served_total" "requests served";
@@ -156,9 +158,10 @@ let register_instruments (sink : Obs.Sink.t) =
     i_restarts = c "pool_restarts_total" "worker restarts";
     i_rerand = c "pool_rerandomizations_total" "worker rerandomizations";
     i_clock =
-      Obs.Metrics.gauge ~help:"simulated pool clock (cycles)" m "pool_clock_cycles";
+      Obs.Metrics.gauge ~help:"simulated pool clock (cycles)" m (ns ^ "pool_clock_cycles");
     i_request_cycles =
-      Obs.Metrics.histogram ~help:"per-request service cycles" m "pool_request_cycles";
+      Obs.Metrics.histogram ~help:"per-request service cycles" m
+        (ns ^ "pool_request_cycles");
   }
 
 let sync_metrics t =
@@ -176,11 +179,18 @@ let sync_metrics t =
       Obs.Metrics.set_counter i.i_rerand s.rerandomizations;
       Obs.Metrics.set_gauge i.i_clock (float_of_int t.clock)
 
+(* Attaching is idempotent: re-attaching the sink that is already active
+   (whether it arrived at [create] or through a previous [run ?obs]) must
+   not re-register instruments or replace the workers' post-mortem rings.
+   Registration itself is also idempotent per name at the registry level,
+   so even a fresh [t] pointed at a registry that already carries
+   [ns ^ "pool_*"] series adopts the existing instruments instead of
+   duplicating them. *)
 let set_obs t sink =
   let already = match t.obs with Some s -> s == sink | None -> false in
   if not already then begin
     t.obs <- Some sink;
-    t.instruments <- Some (register_instruments sink);
+    t.instruments <- Some (register_instruments ~ns:t.ns sink);
     Array.iter (fun w -> observe_worker t w) t.workers
   end
 
@@ -214,7 +224,7 @@ let break_addr_of img sym =
   | Some a -> a
   | None -> invalid_arg ("Pool: no breakpoint symbol " ^ sym)
 
-let create ?(cfg = default_config) ?obs ~build ~break_sym () =
+let create ?(cfg = default_config) ?obs ?(ns = "") ~build ~break_sym () =
   if cfg.workers <= 0 then invalid_arg "Pool.create: need at least one worker";
   let rng = Rng.create cfg.seed in
   (* All workers start as forks of one parent image — the pre-fork server
@@ -247,6 +257,7 @@ let create ?(cfg = default_config) ?obs ~build ~break_sym () =
   let t =
     {
       cfg;
+      ns;
       build;
       break_sym;
       rng;
@@ -255,6 +266,7 @@ let create ?(cfg = default_config) ?obs ~build ~break_sym () =
       clock = 0;
       rr = 0;
       escalated = false;
+      shut = false;
       mvee_images = [];
       sensitive = [];
       obs = None;
@@ -554,7 +566,15 @@ let submit ?retries t payload =
   t.clock <- t.clock + t.cfg.arrival_cycles;
   let ts0 = t.clock in
   let resp =
-    if t.mvee_images <> [] then serve_mvee t payload
+    if t.shut then begin
+      (* Drained pool: admission is closed, the connection is refused
+         without touching a worker. Counted like any other shed so the
+         span invariant (request spans = served + dropped) holds. *)
+      t.stats.dropped <- t.stats.dropped + 1;
+      t.stats.shed <- t.stats.shed + 1;
+      Dropped
+    end
+    else if t.mvee_images <> [] then serve_mvee t payload
     else
       let rec attempt n skip =
         match pick_worker t ~skip with
@@ -604,6 +624,49 @@ let postmortems t = List.rev t.postmortems
 let stats t = t.stats
 let clock t = t.clock
 let escalated t = t.escalated
+let is_shutdown t = t.shut
+
+let advance_clock t now = if now > t.clock then t.clock <- now
+
+let attach t sink = set_obs t sink
+
+(* Graceful drain. The serving model is synchronous — a request is fully
+   handled (or fully failed) inside [submit] — so "let in-flight work
+   finish" holds by construction once admission stops; what remains is to
+   close out the observable lifecycle: one retirement span per worker
+   covering its residual downtime (a worker abandoned mid-respawn would
+   otherwise leave a dangling recovery in the timeline), sensitive-log
+   collection from the final incarnations, a terminal stats snapshot in
+   the metrics registry, and a [shutdown] instant. Idempotent; later
+   [submit]s are refused as shed. *)
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    (* No [collect_sensitive] here: the workers' final incarnations stay
+       resident and [sensitive_log] already folds over live processes —
+       collecting them into [t.sensitive] too would double-count. *)
+    Array.iter
+      (fun w ->
+        ev t (fun sink ->
+            let residual = max 0 (w.down_until - t.clock) in
+            Obs.Events.complete ~cat:"respawn" ~tid:(w.wid + 1)
+              ~args:
+                [ ("kind", "retire"); ("wid", string_of_int w.wid);
+                  ("residual_down", string_of_int residual) ]
+              sink.Obs.Sink.events ~name:"retire" ~ts:t.clock ~dur:residual))
+      t.workers;
+    ev t (fun sink ->
+        Obs.Events.instant ~cat:"lifecycle"
+          ~args:
+            [
+              ("served", string_of_int t.stats.served);
+              ("dropped", string_of_int t.stats.dropped);
+              ("crashes", string_of_int t.stats.crashes);
+              ("detections", string_of_int t.stats.detections);
+            ]
+          sink.Obs.Sink.events ~name:"shutdown" ~ts:t.clock);
+    sync_metrics t
+  end
 
 let sensitive_log t =
   Array.fold_left (fun acc w -> Process.sensitive_log w.proc @ acc) t.sensitive t.workers

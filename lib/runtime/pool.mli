@@ -74,7 +74,7 @@ type postmortem = {
   pm_tail : string;  (** {!R2c_machine.Trace.pp_tail} of the child's ring *)
 }
 
-(** [create ?cfg ?obs ~build ~break_sym ()] — [build ~seed] compiles one
+(** [create ?cfg ?obs ?ns ~build ~break_sym ()] — [build ~seed] compiles one
     worker image; [break_sym] names the per-request serving point every
     worker parks at between requests (the request-accept loop). All workers
     start from a single [build ~seed:cfg.seed] image — the fork model.
@@ -86,10 +86,18 @@ type postmortem = {
     [pool_*] counters, a clock gauge and a request-cycles histogram in the
     metrics registry. Each worker also gets a small trace ring for crash
     post-mortems. Without [?obs] none of this exists — the serving path is
-    the bare interpreter. *)
+    the bare interpreter.
+
+    [?ns] (default [""]) prefixes every registered metric name — a fleet
+    of pools sharing one registry gives each shard its own namespace
+    (["shard0_pool_served_total"], …) instead of fighting over one
+    [pool_*] series. Attachment is idempotent: re-attaching the sink that
+    is already active (at [create] or a previous {!run}/{!attach}) neither
+    re-registers instruments nor replaces the post-mortem rings. *)
 val create :
   ?cfg:config ->
   ?obs:R2c_obs.Sink.t ->
+  ?ns:string ->
   build:(seed:int -> R2c_machine.Image.t) ->
   break_sym:string ->
   unit ->
@@ -110,6 +118,31 @@ val submit : ?retries:int -> t -> string -> response
     responses. [?obs] attaches a sink first (equivalent to passing it at
     {!create}), so existing harnesses can opt into observation per run. *)
 val run : ?obs:R2c_obs.Sink.t -> t -> string list -> response list
+
+(** [attach t sink] — opt into observation after the fact (what
+    [run ?obs] does before replaying). Idempotent for the sink already
+    attached. *)
+val attach : t -> R2c_obs.Sink.t -> unit
+
+(** [shutdown t] — graceful drain: stop admitting (every later {!submit}
+    is refused and counted as shed), close out each worker with a
+    [retire] span covering its residual downtime, record a terminal
+    stats snapshot in the metrics registry, and mark the timeline with a
+    [shutdown] instant. In-flight work needs no waiting — serving is
+    synchronous, so nothing is mid-request between [submit]s.
+    Idempotent. The fleet's epoch rotation retires old-epoch pools
+    through this instead of abandoning them. *)
+val shutdown : t -> unit
+
+(** [is_shutdown t] — {!shutdown} has run. *)
+val is_shutdown : t -> bool
+
+(** [advance_clock t now] — fast-forward the pool clock to [now] (no-op
+    if the clock is already past it). For composing pools under an
+    external clock: a fleet dispatching to shards advances each shard to
+    the fleet-wide arrival time so respawn downtimes elapse in fleet
+    time, not per-shard request counts. *)
+val advance_clock : t -> int -> unit
 
 (** [postmortems t] — captured crash post-mortems, oldest first. *)
 val postmortems : t -> postmortem list

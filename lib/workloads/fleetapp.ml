@@ -1,0 +1,59 @@
+module B = Builder
+
+(* Serving loop bound: effectively "loop forever" next to the pool's
+   recycling knobs — child rotation is the supervisor's decision
+   (requests_per_child), not the program's. *)
+let loop_bound = 4096
+
+let break_symbol = "__ra_process_request_0"
+
+let program () =
+  (* One request: read into a bounded stack buffer, a tiny compute
+     kernel, a served-request counter, and a heartbeat line every 16th
+     request so the client-visible output channel stays exercised without
+     the O(output) line scan growing past a few lines per child. *)
+  let pr = B.func "process_request" ~nparams:1 in
+  let i = B.param 0 in
+  let s_buf = B.slot pr 64 in
+  B.store8 pr (B.slot_addr pr s_buf) 0 (Ir.Const 0);
+  (* Call site 0 — the serving point the pool parks workers at. *)
+  let _n = B.call pr (Ir.Builtin "read_input") [ B.slot_addr pr s_buf; Ir.Const 4096 ] in
+  let x = B.load8 pr (B.slot_addr pr s_buf) 0 in
+  let x2 = B.binop pr Ir.Mul x x in
+  let r = B.binop pr Ir.Add x2 (Ir.Const 7) in
+  let c = B.load pr (Ir.Global "g_req_count") 0 in
+  let c2 = B.binop pr Ir.Add c (Ir.Const 1) in
+  B.store pr (Ir.Global "g_req_count") 0 c2;
+  let beat = B.binop pr Ir.Rem i (Ir.Const 16) in
+  let is_beat = B.cmp pr Ir.Eq beat (Ir.Const 0) in
+  let say = B.new_block pr and fin = B.new_block pr in
+  B.cond_br pr is_beat say fin;
+  B.switch_to pr say;
+  B.call_void pr (Ir.Builtin "print_int") [ r ];
+  B.br pr fin;
+  B.switch_to pr fin;
+  B.ret pr (Some r);
+  (* The accept loop. *)
+  let main = B.func "main" ~nparams:0 in
+  let s_i = B.slot main 8 in
+  let i_addr = B.slot_addr main s_i in
+  B.store main i_addr 0 (Ir.Const 0);
+  let header = B.new_block main and body = B.new_block main and stop = B.new_block main in
+  B.br main header;
+  B.switch_to main header;
+  let iv = B.load main i_addr 0 in
+  let cmp = B.cmp main Ir.Lt iv (Ir.Const loop_bound) in
+  B.cond_br main cmp body stop;
+  B.switch_to main body;
+  let iv2 = B.load main i_addr 0 in
+  B.call_void main (Ir.Direct "process_request") [ iv2 ];
+  let iv3 = B.binop main Ir.Add iv2 (Ir.Const 1) in
+  B.store main i_addr 0 iv3;
+  B.br main header;
+  B.switch_to main stop;
+  B.ret main (Some (Ir.Const 0));
+  B.program ~main:"main"
+    [ B.finish pr; B.finish main ]
+    [ B.global "g_req_count" ~size:8 [] ]
+
+let build ?(seed = 1) cfg = R2c_core.Pipeline.compile ~seed cfg (program ())

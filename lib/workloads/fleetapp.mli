@@ -1,0 +1,26 @@
+(** The fleet-scale serving workload.
+
+    A deliberately lean request server for campaigns that push hundreds of
+    thousands of requests through {!R2c_runtime.Fleet}: the same
+    park-at-[read_input] serving protocol as {!Vulnapp} (so the pool's
+    break-symbol machinery applies unchanged) but with a minimal handler —
+    bounded read, a small compute kernel, a served-request counter, and a
+    heartbeat response line every 16th request. No planted vulnerability:
+    fleet campaigns get their failures from the chaos injector, not from
+    attack payloads, and the per-request instruction count is what sets
+    the campaign's wall-clock. *)
+
+(** Requests the serving loop accepts before the child exits on its own
+    (set high; child rotation belongs to the supervisor's
+    [requests_per_child], not the program). *)
+val loop_bound : int
+
+val program : unit -> Ir.program
+
+(** Return-address symbol of the [read_input] call — the per-request
+    serving point workers park at. *)
+val break_symbol : string
+
+(** [build ?seed cfg] — compile the server under a diversity
+    configuration. *)
+val build : ?seed:int -> R2c_core.Dconfig.t -> R2c_machine.Image.t

@@ -1,0 +1,297 @@
+(* Serving fleet: pool drain/attach semantics the fleet builds on, the
+   rotation state machine, and the QCheck admission/accounting/quarantine
+   properties from the E-FLEET acceptance list. *)
+
+open R2c_machine
+module Pool = R2c_runtime.Pool
+module Fleet = R2c_runtime.Fleet
+module Fleetbench = R2c_harness.Fleetbench
+module Fleetapp = R2c_workloads.Fleetapp
+module Obs = R2c_obs
+module Q = QCheck
+
+let dc = R2c_core.Dconfig.full_checked
+let build ~seed = Fleetapp.build ~seed dc
+
+let make_pool ?obs ?ns ?(cfg = Pool.default_config) () =
+  Pool.create ?obs ?ns ~cfg ~build ~break_sym:Fleetapp.break_symbol ()
+
+let serve_n pool n =
+  for _ = 1 to n do
+    match Pool.submit pool "GET /status" with
+    | Pool.Served _ -> ()
+    | _ -> Alcotest.fail "legit request not served"
+  done
+
+(* --- Pool.shutdown: graceful drain --- *)
+
+let test_pool_shutdown () =
+  let pool = make_pool () in
+  serve_n pool 5;
+  Alcotest.(check bool) "live before" false (Pool.is_shutdown pool);
+  Pool.shutdown pool;
+  Alcotest.(check bool) "shut after" true (Pool.is_shutdown pool);
+  let s = Pool.stats pool in
+  let served0 = s.Pool.served and shed0 = s.Pool.shed in
+  (match Pool.submit pool "GET /status" with
+  | Pool.Dropped -> ()
+  | _ -> Alcotest.fail "admission still open after shutdown");
+  Alcotest.(check int) "refused request counted shed" (shed0 + 1) s.Pool.shed;
+  Alcotest.(check int) "nothing served after drain" served0 s.Pool.served;
+  (* idempotent: a second drain changes nothing *)
+  let dropped0 = s.Pool.dropped in
+  Pool.shutdown pool;
+  Alcotest.(check int) "second shutdown is a no-op" dropped0 s.Pool.dropped
+
+let test_pool_shutdown_final_snapshot () =
+  (* The drain pushes a terminal stats snapshot into the registry. *)
+  let sink = Obs.Sink.create () in
+  let pool = make_pool ~obs:sink () in
+  serve_n pool 4;
+  Pool.shutdown pool;
+  let c = Obs.Metrics.counter sink.Obs.Sink.metrics "pool_served_total" in
+  Alcotest.(check int) "snapshot matches stats" (Pool.stats pool).Pool.served
+    (Obs.Metrics.counter_value c)
+
+(* --- idempotent observation / metric namespacing --- *)
+
+let test_pool_obs_idempotent () =
+  (* Sink attached at create; re-attaching the same sink through run/attach
+     must neither double-register pool_* instruments nor corrupt their
+     values. *)
+  let sink = Obs.Sink.create () in
+  let pool = make_pool ~obs:sink () in
+  serve_n pool 3;
+  ignore (Pool.run ~obs:sink pool [ "GET /status"; "GET /status" ]);
+  Pool.attach pool sink;
+  serve_n pool 2;
+  let c = Obs.Metrics.counter sink.Obs.Sink.metrics "pool_served_total" in
+  Alcotest.(check int) "served counter tracks stats exactly" 7
+    (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "stats agree" 7 (Pool.stats pool).Pool.served
+
+let test_pool_ns_isolates_metrics () =
+  (* Two pools sharing one registry must not clobber each other's series:
+     the fleet gives each shard its own prefix. *)
+  let sink = Obs.Sink.create () in
+  let a = make_pool ~obs:sink ~ns:"shard0_" () in
+  let b = make_pool ~obs:sink ~ns:"shard1_" () in
+  serve_n a 4;
+  serve_n b 2;
+  let va =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter sink.Obs.Sink.metrics "shard0_pool_served_total")
+  in
+  let vb =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter sink.Obs.Sink.metrics "shard1_pool_served_total")
+  in
+  Alcotest.(check int) "shard0 series" 4 va;
+  Alcotest.(check int) "shard1 series" 2 vb
+
+(* --- fleet: rotation state machine --- *)
+
+let quiet_shard =
+  {
+    Fleet.default_config.Fleet.shard with
+    Pool.workers = 2;
+    requests_per_child = 0;
+    inject = Inject.zero;
+  }
+
+let mk_fleet ?(cfg = Fleet.default_config) ?obs () =
+  Fleet.create ~cfg ?obs ~build ~break_sym:Fleetapp.break_symbol ()
+
+let test_fleet_rotates_without_drops () =
+  (* No chaos; a tight epoch timer. Every rotation must complete without
+     costing a single request. *)
+  let cfg =
+    {
+      Fleet.default_config with
+      Fleet.shards = 2;
+      seed = 5;
+      epoch_cycles = 200_000;
+      arrival_cycles = 800;
+      shard = quiet_shard;
+    }
+  in
+  let fleet = mk_fleet ~cfg () in
+  for _ = 1 to 1500 do
+    match Fleet.submit fleet "GET /item/1" with
+    | Pool.Served _ -> ()
+    | _ -> Alcotest.fail "request lost in a chaos-free fleet"
+  done;
+  let s = Fleet.stats fleet in
+  Alcotest.(check bool)
+    (Printf.sprintf "several rotations completed (%d)" s.Fleet.rotations)
+    true
+    (s.Fleet.rotations >= 3);
+  Alcotest.(check int) "epoch = completed rotations" s.Fleet.rotations
+    (Fleet.epoch fleet);
+  Alcotest.(check int) "zero rotation drops" 0 s.Fleet.rotation_drops;
+  Alcotest.(check int) "zero drops at all" 0 s.Fleet.dropped;
+  Alcotest.(check int) "everything served" 1500 s.Fleet.served
+
+let test_fleet_reactive_rotation () =
+  (* Timer off; the detection trigger alone must turn the epoch over.
+     Detections come from heavy bit-flip/load-corruption chaos steering
+     corrupted control flow into booby traps (seed pinned to a stream
+     where that happens within a few dozen requests). *)
+  let cfg =
+    {
+      Fleet.default_config with
+      Fleet.shards = 2;
+      seed = 2;
+      epoch_cycles = 0;
+      rotate_detections = 1;
+      quarantine_detections = 0;
+      shard =
+        {
+          Fleet.default_config.Fleet.shard with
+          Pool.workers = 2;
+          requests_per_child = 16;
+          inject =
+            {
+              Inject.bitflip = 0.003;
+              load_corrupt = 0.003;
+              spurious_fault = 0.0;
+              fuel_cut = 0.0;
+            };
+        };
+    }
+  in
+  let fleet = mk_fleet ~cfg () in
+  for _ = 1 to 400 do
+    ignore (Fleet.submit fleet "GET /item/1")
+  done;
+  Alcotest.(check bool) "detections observed" true
+    ((Fleet.pool_totals fleet).Pool.detections > 0);
+  Alcotest.(check bool) "reactive rotation fired" true
+    ((Fleet.stats fleet).Fleet.rotations >= 1)
+
+let test_fleet_metrics_registered () =
+  let cfg =
+    { Fleet.default_config with Fleet.shards = 2; seed = 3; shard = quiet_shard }
+  in
+  let fleet = mk_fleet ~cfg () in
+  for _ = 1 to 10 do
+    ignore (Fleet.submit fleet "GET /item/1")
+  done;
+  let m = (Fleet.sink fleet).Obs.Sink.metrics in
+  let v name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+  Alcotest.(check int) "fleet_requests_total" 10 (v "fleet_requests_total");
+  Alcotest.(check int) "fleet_served_total" 10 (v "fleet_served_total");
+  Alcotest.(check int) "per-shard series present"
+    ((Fleet.stats fleet).Fleet.served)
+    (v "fleet_shard0_served_total" + v "fleet_shard1_served_total")
+
+(* --- QCheck properties --- *)
+
+let stormy rate =
+  { Inject.bitflip = 0.0; load_corrupt = 0.0; spurious_fault = rate; fuel_cut = 0.0 }
+
+let run_fleet ~seed ~queue_bound ~arrival_cycles ~rate ~requests =
+  let cfg =
+    {
+      Fleet.default_config with
+      Fleet.shards = 2;
+      seed;
+      queue_bound;
+      arrival_cycles;
+      epoch_cycles = 120_000;
+      quarantine_cycles = 20_000;
+      shard =
+        {
+          Fleet.default_config.Fleet.shard with
+          Pool.workers = 1;
+          requests_per_child = 16;
+          restart_cycles = 30_000;
+          rerandomize_cycles = 50_000;
+          inject = stormy rate;
+        };
+    }
+  in
+  let fleet = mk_fleet ~cfg () in
+  let responses = List.init requests (fun i -> Fleet.submit fleet (Printf.sprintf "GET /item/%d" i)) in
+  (fleet, responses)
+
+let prop_admission_bound =
+  Q.Test.make ~count:6 ~name:"fleet: admitted depth never exceeds queue_bound"
+    Q.(triple (int_range 1 6) (int_range 50 400) (int_range 1 1000))
+    (fun (queue_bound, arrival_cycles, seed) ->
+      let fleet, _ =
+        run_fleet ~seed ~queue_bound ~arrival_cycles ~rate:0.0005 ~requests:250
+      in
+      (Fleet.stats fleet).Fleet.max_queue_depth <= queue_bound)
+
+let prop_accounting =
+  Q.Test.make ~count:6
+    ~name:"fleet: served + dropped = submitted, shed + rejected = dropped"
+    Q.(pair (int_range 1 1000) (int_range 1 4))
+    (fun (seed, bound) ->
+      let fleet, responses =
+        run_fleet ~seed ~queue_bound:bound ~arrival_cycles:150 ~rate:0.001
+          ~requests:300
+      in
+      let s = Fleet.stats fleet in
+      List.length responses = s.Fleet.submitted
+      && s.Fleet.served + s.Fleet.dropped = s.Fleet.submitted
+      && s.Fleet.shed + s.Fleet.rejected = s.Fleet.dropped
+      && s.Fleet.served
+         = List.length
+             (List.filter (function Pool.Served _ -> true | _ -> false) responses))
+
+let prop_quarantine_no_loss =
+  (* Chaos heavy enough to force quarantines; every submission still gets
+     exactly one response and the books still balance — quarantining a
+     shard never loses a request that was already admitted. *)
+  Q.Test.make ~count:5 ~name:"fleet: quarantine never loses a request"
+    Q.(int_range 1 1000)
+    (fun seed ->
+      let fleet, responses =
+        run_fleet ~seed ~queue_bound:4 ~arrival_cycles:200 ~rate:0.002 ~requests:400
+      in
+      let s = Fleet.stats fleet in
+      List.length responses = 400
+      && s.Fleet.submitted = 400
+      && s.Fleet.served + s.Fleet.dropped = 400)
+
+let prop_jobs_deterministic =
+  (* The fleet report — availability, latency percentiles, rotation and
+     drop counters — is bit-identical whether background epoch compiles
+     run serially or across 8 domains. *)
+  Q.Test.make ~count:3 ~name:"fleet: report identical at jobs=1 and jobs=8"
+    Q.(int_range 1 1000)
+    (fun seed ->
+      let report jobs =
+        Obs.Json.to_string
+          (Fleetbench.json
+             (Fleetbench.run ~seed ~requests:600 ~shards:2 ~epoch_cycles:150_000
+                ~jobs ()))
+      in
+      String.equal (report 1) (report 8))
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_admission_bound; prop_accounting; prop_quarantine_no_loss;
+      prop_jobs_deterministic ]
+
+let suite =
+  [
+    ( "fleet",
+      [
+        Alcotest.test_case "pool shutdown drains gracefully" `Quick test_pool_shutdown;
+        Alcotest.test_case "pool shutdown snapshots metrics" `Quick
+          test_pool_shutdown_final_snapshot;
+        Alcotest.test_case "pool observation is idempotent" `Quick
+          test_pool_obs_idempotent;
+        Alcotest.test_case "pool ns isolates shared registry" `Quick
+          test_pool_ns_isolates_metrics;
+        Alcotest.test_case "timer rotation drops nothing" `Slow
+          test_fleet_rotates_without_drops;
+        Alcotest.test_case "detections trigger reactive rotation" `Quick
+          test_fleet_reactive_rotation;
+        Alcotest.test_case "fleet metrics registered" `Quick
+          test_fleet_metrics_registered;
+      ]
+      @ props );
+  ]
