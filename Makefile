@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval
 
 all: build
 
@@ -38,7 +38,15 @@ fuzz:
 fleet:
 	dune exec bin/experiments.exe -- fleet --seed 11 --json-out fleet_out.json
 
-check: build test audit profile fuzz fleet
+# Static translation validation: every workload x every diversification
+# config, symbolically re-executed against its IR semantics, plus the
+# IR rule pack and the planted-miscompile catch checks. Exits nonzero on
+# any finding, uncaught plant, or corpus replay failure. The one-line
+# report lands in tval_out.json (CI archives it next to fleet_out.json).
+tval:
+	dune exec bin/experiments.exe -- tval --seed 3 --json-out tval_out.json
+
+check: build test audit profile fuzz fleet tval
 
 examples:
 	dune build examples

@@ -459,6 +459,65 @@ let fleet_cmd =
           exits nonzero unless availability >= 99.9% with zero rotation-caused drops.")
     Term.(const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ json_out)
 
+let tval_cmd =
+  let seed =
+    Arg.(
+      value & opt int 3
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Diversification seed every point compiles under.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the validation fan-out (0 = auto: \\$R2C_JOBS or the \
+             recommended domain count; 1 = serial). The report is identical at any \
+             width.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Fuzz reproducer corpus replayed through the validator.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
+  in
+  let run seed jobs corpus json_out =
+    let module TB = R2c_harness.Tvalbench in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let effective_jobs =
+      match jobs with Some j -> j | None -> R2c_util.Parallel.default_jobs ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = TB.run ~seed ?jobs ~corpus_dir:corpus () in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    TB.print r;
+    let line = R2c_obs.Json.to_string (TB.json ~jobs:effective_jobs ~wall_ms r) in
+    print_endline line;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc line;
+        output_char oc '\n';
+        close_out oc);
+    match TB.gate r with
+    | [] -> 0
+    | fails ->
+        List.iter (fun m -> Printf.eprintf "tval: gate failed: %s\n" m) fails;
+        1
+  in
+  Cmd.v
+    (Cmd.info "tval"
+       ~doc:
+         "Static translation validation: symbolically execute the emitted code of every \
+          workload under the whole Dconfig matrix against its IR semantics, replay the \
+          fuzz corpus, and re-catch the planted miscompiles — no execution; exits \
+          nonzero on any finding or uncaught plant.")
+    Term.(const run $ seed $ jobs $ corpus $ json_out)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -482,5 +541,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            fuzz_cmd; fleet_cmd; all_cmd;
+            fuzz_cmd; fleet_cmd; tval_cmd; all_cmd;
           ]))

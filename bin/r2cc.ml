@@ -44,7 +44,7 @@ let machine_of_name name =
       | "xeon" -> Cost.xeon_8358
       | other -> failwith ("unknown machine " ^ other))
 
-let run_workload name config machine seed dump emit_ir trace profiled lint =
+let run_workload name config machine seed dump emit_ir trace profiled lint tval =
   let program =
     (* A path ending in .r2c is compiled from source; otherwise it names a
        bundled workload. *)
@@ -76,6 +76,24 @@ let run_workload name config machine seed dump emit_ir trace profiled lint =
   end;
   let cfg = config_of_name config in
   let profile = machine_of_name machine in
+  if tval then begin
+    (* Static translation validation: the pipeline with lowering metadata,
+       the symbolic per-block refinement check, and the IR lint pack. *)
+    let module Tval = R2c_analysis.Tval in
+    let module Lint = R2c_analysis.Lint in
+    let img, meta, p' = R2c_core.Pipeline.compile_with_meta ~seed cfg program in
+    let r = Tval.validate ~img ~meta p' in
+    let ir_findings = Lint.run_ir program in
+    Printf.printf
+      "%s under %s (seed %d): %d function(s), %d block(s) validated; %d tval finding(s), \
+       %d IR lint finding(s)\n"
+      name config seed r.Tval.funcs r.Tval.blocks
+      (List.length r.Tval.findings)
+      (List.length ir_findings);
+    List.iter (fun f -> print_endline ("  " ^ Tval.finding_to_string f)) r.Tval.findings;
+    List.iter (fun f -> print_endline ("  " ^ Lint.ir_finding_to_string f)) ir_findings;
+    exit (if r.Tval.findings = [] && ir_findings = [] then 0 else 1)
+  end;
   let img =
     if config = "baseline" then R2c_compiler.Driver.compile program
     else R2c_core.Pipeline.compile ~seed cfg program
@@ -191,11 +209,20 @@ let () =
             "Run the static invariant linter on the linked image instead of executing; \
              exit nonzero on findings.")
   in
+  let tval =
+    Arg.(
+      value & flag
+      & info [ "tval" ]
+          ~doc:
+            "Statically validate the translation instead of executing: symbolically \
+             execute the diversified machine code of every basic block against the IR \
+             semantics and run the IR dataflow lint; exit nonzero on findings.")
+  in
   let doc = "Compile and run a bundled workload under R2C protection." in
   let cmd =
     Cmd.v (Cmd.info "r2cc" ~version:"1.0.0" ~doc)
       Term.(
         const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace
-        $ profiled $ lint)
+        $ profiled $ lint $ tval)
   in
   exit (Cmd.eval' cmd)

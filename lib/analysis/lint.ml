@@ -248,3 +248,152 @@ let run ~expect img =
   List.concat_map (fun (_, _, rule) -> rule ctx) registry
   |> List.sort (fun a b ->
          compare (a.rule, a.f_addr, a.detail) (b.rule, b.f_addr, b.detail))
+
+(* === IR-level rules (Dataflow-powered) ================================== *)
+
+type ir_finding = {
+  ir_rule : string;
+  ir_func : string;
+  ir_block : Ir.label;
+  ir_instr : int option;
+  ir_detail : string;
+}
+
+let ir_finding_to_string f =
+  Printf.sprintf "[%s] %s.L%d%s: %s" f.ir_rule f.ir_func f.ir_block
+    (match f.ir_instr with Some i -> Printf.sprintf "#%d" i | None -> "(term)")
+    f.ir_detail
+
+let block_arr (f : Ir.func) = Array.of_list f.Ir.blocks
+
+(* --- Rule: use-before-def (reaching definitions) ----------------------- *)
+
+let ir_rule_ubd (f : Ir.func) =
+  let blocks = block_arr f in
+  List.map
+    (fun (v, bi, k) ->
+      let b = blocks.(bi) in
+      let nbody = List.length b.Ir.body in
+      {
+        ir_rule = "use-before-def";
+        ir_func = f.Ir.name;
+        ir_block = b.Ir.lbl;
+        ir_instr = (if k < nbody then Some k else None);
+        ir_detail =
+          Printf.sprintf "var %d may be read before any definition reaches it" v;
+      })
+    (Dataflow.Reaching.uninit_reads f)
+
+(* --- Rule: dead-store (liveness) ---------------------------------------- *)
+
+(* Only side-effect-free definitions are dead stores; calls and loads
+   have effects (or can fault) even when the result is unused, and
+   Div/Rem can trap on a zero divisor. *)
+let pure_def = function
+  | Ir.Mov (v, _) | Ir.Cmp (v, _, _, _) | Ir.Slot_addr (v, _) -> Some v
+  | Ir.Binop (v, op, _, _) -> (
+      match op with Ir.Div | Ir.Rem -> None | _ -> Some v)
+  | Ir.Load _ | Ir.Load8 _ | Ir.Store _ | Ir.Store8 _ | Ir.Call _ -> None
+
+let ir_rule_dead_store (f : Ir.func) =
+  let lv = Dataflow.Liveness.compute f in
+  let blocks = block_arr f in
+  let fs = ref [] in
+  Array.iteri
+    (fun bi b ->
+      let before = Dataflow.Liveness.before lv f bi in
+      List.iteri
+        (fun k instr ->
+          match pure_def instr with
+          | Some v when not (Dataflow.Iset.mem v before.(k + 1)) ->
+              fs :=
+                {
+                  ir_rule = "dead-store";
+                  ir_func = f.Ir.name;
+                  ir_block = b.Ir.lbl;
+                  ir_instr = Some k;
+                  ir_detail = Printf.sprintf "var %d is defined but never read" v;
+                }
+                :: !fs
+          | _ -> ())
+        b.Ir.body)
+    blocks;
+  List.rev !fs
+
+(* --- Rules: const-div-by-zero + oob-const-slot-offset (CCP) ------------ *)
+
+(* Both walk the same conditional-constant environments, so they share
+   one pass; the registry still reports them as distinct rules. *)
+let ir_rules_ccp (f : Ir.func) =
+  let cp = Dataflow.Constprop.compute f in
+  let blocks = block_arr f in
+  let fs = ref [] in
+  let add rule b k fmt =
+    Printf.ksprintf
+      (fun ir_detail ->
+        fs :=
+          {
+            ir_rule = rule;
+            ir_func = f.Ir.name;
+            ir_block = b.Ir.lbl;
+            ir_instr = Some k;
+            ir_detail;
+          }
+          :: !fs)
+      fmt
+  in
+  Array.iteri
+    (fun bi b ->
+      if cp.Dataflow.Constprop.executable.(bi) then begin
+        let envs = Dataflow.Constprop.before cp f bi in
+        let slot_access b k base off width what =
+          match Dataflow.Constprop.eval envs.(k) base with
+          | Dataflow.Constprop.Cslot (i, d) ->
+              let lo = d + off in
+              if lo < 0 || lo + width > f.Ir.slots.(i) then
+                add "oob-const-slot-offset" b k
+                  "%s at slot %d offset %d (width %d) escapes its %d byte(s)" what i lo
+                  width f.Ir.slots.(i)
+          | _ -> ()
+        in
+        List.iteri
+          (fun k instr ->
+            match instr with
+            | Ir.Binop (_, (Ir.Div | Ir.Rem), _, rhs) -> (
+                match Dataflow.Constprop.eval envs.(k) rhs with
+                | Dataflow.Constprop.Cconst 0 ->
+                    add "const-div-by-zero" b k "divisor is the constant 0"
+                | _ -> ())
+            | Ir.Load (_, base, off) -> slot_access b k base off 8 "load"
+            | Ir.Load8 (_, base, off) -> slot_access b k base off 1 "load"
+            | Ir.Store (base, off, _) -> slot_access b k base off 8 "store"
+            | Ir.Store8 (base, off, _) -> slot_access b k base off 1 "store"
+            | _ -> ())
+          b.Ir.body
+      end)
+    blocks;
+  List.rev !fs
+
+let ir_registry =
+  [
+    ( "use-before-def",
+      "a path reaches a var read with no prior definition (reaching defs)" );
+    ("dead-store", "a pure definition is never read (liveness)");
+    ("const-div-by-zero", "a divisor folds to the constant 0 (CCP)");
+    ( "oob-const-slot-offset",
+      "a constant-folded slot access escapes the slot's bounds (CCP)" );
+  ]
+
+let ir_rules = ir_registry
+
+let run_ir (p : Ir.program) =
+  List.concat_map
+    (fun f ->
+      let ccp = ir_rules_ccp f in
+      let by_rule name =
+        List.filter (fun fd -> fd.ir_rule = name) ccp
+      in
+      ir_rule_ubd f @ ir_rule_dead_store f
+      @ by_rule "const-div-by-zero"
+      @ by_rule "oob-const-slot-offset")
+    p.Ir.funcs

@@ -39,3 +39,32 @@ val rules : (string * string) list
 (** [run ~expect img] — load [img] into fresh memory, recover its CFG and
     evaluate every rule. Findings are sorted by rule then address. *)
 val run : expect:expect -> R2c_machine.Image.t -> finding list
+
+(** {1 IR-level rules}
+
+    The image rules above check the emitted defense; these check the
+    *input* program with the {!Dataflow} fact tables, before any
+    lowering. They are what [r2cc --tval] and the [experiments tval]
+    gate run alongside the translation validator: a program that is
+    clean here has well-defined block semantics, which the validator's
+    rejoin checks rely on. *)
+
+type ir_finding = {
+  ir_rule : string;  (** registry name of the rule that fired *)
+  ir_func : string;
+  ir_block : Ir.label;
+  ir_instr : int option;
+      (** instruction index within the block; [None] = the terminator *)
+  ir_detail : string;
+}
+
+val ir_finding_to_string : ir_finding -> string
+
+(** Registry: [(name, one-line description)] in evaluation order. *)
+val ir_rules : (string * string) list
+
+(** [run_ir p] — evaluate every IR rule on every function. Findings are
+    in deterministic (function, block, instruction) order. Only
+    statically executable code is flagged: reads, stores and divisions
+    behind a constant-false branch are dead, not defects. *)
+val run_ir : Ir.program -> ir_finding list

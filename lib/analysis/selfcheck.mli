@@ -34,3 +34,44 @@ type outcome = {
 }
 
 val run : expect:Lint.expect -> R2c_machine.Image.t -> outcome list
+
+(** {1 IR rule pack + translation validator wiring}
+
+    Same discipline, one level earlier: each {!ir_mutation} twists one
+    instruction of a minimal carrier program and must be flagged by
+    exactly its {!Lint.ir_rules} rule — or, for [Lowering_mismatch], by
+    the translation validator ({!Tval}), which sees the twisted twin's
+    machine code against the true carrier's IR semantics. *)
+
+type ir_mutation =
+  | Read_uninitialized  (** an operand becomes a var nothing defines *)
+  | Orphan_definition  (** a constant [Mov] nobody reads is prepended *)
+  | Zero_divisor  (** the division's divisor becomes [Const 0] *)
+  | Slot_escape  (** a load offset walks one word past its slot *)
+  | Lowering_mismatch  (** the compiled code computes [Add] where the IR says [Sub] *)
+
+val ir_all : ir_mutation list
+val ir_mutation_to_string : ir_mutation -> string
+
+(** [ir_expected_rule m] — the one rule that must flag [m] ("tval" for
+    {!Lowering_mismatch}). *)
+val ir_expected_rule : ir_mutation -> string
+
+(** The clean program the mutations twist; exposed so the test suite can
+    assert it is finding-free under the whole rule pack and validator. *)
+val carrier : unit -> Ir.program
+
+(** [twist m p] — apply mutation [m] to (a copy of) [p]'s main. *)
+val twist : ir_mutation -> Ir.program -> Ir.program
+
+type ir_outcome = {
+  ir_mutation : ir_mutation;
+  ir_expected : string;
+  ir_rules_hit : string list;  (** distinct rules that fired, sorted *)
+  ir_n_findings : int;
+  ir_ok : bool;  (** fired, and only the expected rule did *)
+}
+
+(** [run_ir ?seed ()] — every mutation against the carrier; [seed] feeds
+    the {!Lowering_mismatch} compile (default 3). *)
+val run_ir : ?seed:int -> unit -> ir_outcome list

@@ -19,3 +19,15 @@ let compile ?(opts = Opts.default) (p : Ir.program) =
         p.main (List.length img.R2c_machine.Image.funcs) img.R2c_machine.Image.text_len
         img.R2c_machine.Image.data_len);
   img
+
+let compile_with_meta ?(opts = Opts.default) (p : Ir.program) =
+  (match Validate.check p with
+  | [] -> ()
+  | errors -> raise (Invalid_program errors));
+  let pairs = List.map (fun f -> Emit.emit_func_meta ~opts f) p.funcs in
+  let emitted = List.map fst pairs @ List.map Asm.of_raw opts.Opts.raw_funcs in
+  let img = Link.link ~opts ~main:p.main emitted p.globals in
+  let meta =
+    List.map2 (fun (f : Ir.func) (_, m) -> (f.name, m)) p.funcs pairs
+  in
+  (img, meta)

@@ -433,7 +433,16 @@ let emit_term ctx ~next_lbl (term : Ir.term) =
       ins eb (Insn.Jcc (Ne, TSym (label_sym ctx l1, 0)));
       if next_lbl <> Some l2 then ins eb (Insn.Jmp (TSym (label_sym ctx l2, 0)))
 
-let emit_func ~(opts : Opts.t) (f : Ir.func) =
+type tvmeta = {
+  tv_assign : Regalloc.assignment array;
+  tv_ir_off : int array;
+  tv_spill_off : int array;
+  tv_save : (Insn.reg * int) list;
+  tv_frame_size : int;
+  tv_post_words : int;
+}
+
+let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
   let fname = f.name in
   let alloc = Regalloc.allocate ~pool:(opts.reg_pool ~fname) f in
   let writes_frame = Array.length f.slots > 0 || alloc.nspills > 0 in
@@ -505,14 +514,24 @@ let emit_func ~(opts : Opts.t) (f : Ir.func) =
   blocks f.blocks;
   assert (ctx.push_adjust = 0);
   let emitted = eb_finish eb ~name:fname ~booby_trap:false in
-  {
-    emitted with
-    Asm.eframe =
-      Some
-        {
-          Asm.frame_size = frame.frame_size;
-          post_words;
-          ra_sites = List.rev ctx.ra_sites;
-          check_sites = List.rev ctx.check_sites;
-        };
-  }
+  ( {
+      emitted with
+      Asm.eframe =
+        Some
+          {
+            Asm.frame_size = frame.frame_size;
+            post_words;
+            ra_sites = List.rev ctx.ra_sites;
+            check_sites = List.rev ctx.check_sites;
+          };
+    },
+    {
+      tv_assign = alloc.assign;
+      tv_ir_off = frame.ir_off;
+      tv_spill_off = frame.spill_off;
+      tv_save = frame.save_slots;
+      tv_frame_size = frame.frame_size;
+      tv_post_words = post_words;
+    } )
+
+let emit_func ~opts f = fst (emit_func_meta ~opts f)

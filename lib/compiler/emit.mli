@@ -21,7 +21,24 @@
 
 val arg_regs : R2c_machine.Insn.reg list
 
+(** Per-function lowering metadata for the translation validator
+    ({!module:R2c_analysis} [.Tval]): the regalloc var->home mapping and
+    the (possibly permuted) frame layout. Offsets are rsp-relative with
+    the frame fully established (after the post-offset and frame-size
+    subtractions). *)
+type tvmeta = {
+  tv_assign : Regalloc.assignment array;  (** indexed by var *)
+  tv_ir_off : int array;  (** IR slot index -> frame offset *)
+  tv_spill_off : int array;  (** spill slot index -> frame offset *)
+  tv_save : (R2c_machine.Insn.reg * int) list;  (** callee-saved homes *)
+  tv_frame_size : int;
+  tv_post_words : int;  (** BTRA post-offset words above the frame *)
+}
+
 (** [emit_func ~opts f] — emit one function. Raises [Invalid_argument] on
     unsupported combinations (BTRAs on stack-argument call sites without
     offset-invariant addressing — the Section 7.4.2 limitation). *)
 val emit_func : opts:Opts.t -> Ir.func -> Asm.emitted
+
+(** [emit_func_meta ~opts f] — {!emit_func} plus the lowering metadata. *)
+val emit_func_meta : opts:Opts.t -> Ir.func -> Asm.emitted * tvmeta

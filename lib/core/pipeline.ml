@@ -166,3 +166,8 @@ let instrument ?(extra_raw = []) ~seed (cfg : Dconfig.t) (p : Ir.program) =
 let compile ?(extra_raw = []) ?(seed = 1) cfg p =
   let p, opts = instrument ~extra_raw ~seed cfg p in
   R2c_compiler.Driver.compile ~opts p
+
+let compile_with_meta ?(extra_raw = []) ?(seed = 1) cfg p =
+  let p, opts = instrument ~extra_raw ~seed cfg p in
+  let img, meta = R2c_compiler.Driver.compile_with_meta ~opts p in
+  (img, meta, p)

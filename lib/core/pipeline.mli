@@ -26,3 +26,14 @@ val compile :
   Dconfig.t ->
   Ir.program ->
   R2c_machine.Image.t
+
+(** [compile_with_meta ?extra_raw ?seed cfg p] — {!compile}, also
+    returning per-function lowering metadata and the instrumented program
+    actually compiled (the input plus e.g. the BTDP constructor), so the
+    translation validator can check every IR function in the image. *)
+val compile_with_meta :
+  ?extra_raw:R2c_compiler.Opts.raw_func list ->
+  ?seed:int ->
+  Dconfig.t ->
+  Ir.program ->
+  R2c_machine.Image.t * (string * R2c_compiler.Emit.tvmeta) list * Ir.program

@@ -14,14 +14,23 @@ type variant = {
   cfg_stats : Cfg.stats;
 }
 
+type dataflow_row = {
+  dwork : string;
+  dead_stores : int;
+  folded : int;
+  max_iterations : int;
+}
+
 type t = {
   ir_checked : (string * string list) list;
+  dataflow : dataflow_row list;
   r2c : variant list;
   r2c_survivors : int;
   baseline : variant list;
   baseline_survivors : int;
   checked : variant;
   selfcheck : Selfcheck.outcome list;
+  ir_selfcheck : Selfcheck.ir_outcome list;
 }
 
 let default_seeds = [ 2; 3; 5; 7; 11 ]
@@ -49,6 +58,28 @@ let check_ir () =
       (name, List.map Validate.error_to_string (Validate.check p)))
     (ir_programs ())
 
+(* Dataflow statistics per workload: how much the solver sees. Dead
+   stores come from the liveness-backed lint rule (a clean workload has
+   none); folded instructions and sweep counts from the CCP/liveness/
+   reaching fixpoints. *)
+let dataflow_stats () =
+  List.map
+    (fun (name, p) ->
+      let s = R2c_analysis.Dataflow.program_stats p in
+      let dead =
+        List.length
+          (List.filter
+             (fun (f : Lint.ir_finding) -> f.Lint.ir_rule = "dead-store")
+             (Lint.run_ir p))
+      in
+      {
+        dwork = name;
+        dead_stores = dead;
+        folded = s.R2c_analysis.Dataflow.folded;
+        max_iterations = s.R2c_analysis.Dataflow.max_iterations;
+      })
+    (ir_programs ())
+
 let audit_variant ~label ~expect ~seed img =
   {
     label;
@@ -60,6 +91,7 @@ let audit_variant ~label ~expect ~seed img =
 
 let run ?(seeds = default_seeds) () =
   let ir_checked = check_ir () in
+  let dataflow = dataflow_stats () in
   let full_expect = Lint.expect_of_dconfig (Dconfig.full ()) in
   let r2c_images =
     List.map (fun seed -> (seed, Defenses.build_vulnapp Defenses.r2c ~seed)) seeds
@@ -91,7 +123,9 @@ let run ?(seeds = default_seeds) () =
     audit_variant ~label:"r2c-checked" ~expect:checked_expect ~seed:3 checked_img
   in
   let selfcheck = Selfcheck.run ~expect:checked_expect checked_img in
-  { ir_checked; r2c; r2c_survivors; baseline; baseline_survivors; checked; selfcheck }
+  let ir_selfcheck = Selfcheck.run_ir () in
+  { ir_checked; dataflow; r2c; r2c_survivors; baseline; baseline_survivors; checked;
+    selfcheck; ir_selfcheck }
 
 let min_gadgets variants =
   List.fold_left (fun acc v -> min acc v.n_gadgets) max_int variants
@@ -100,6 +134,7 @@ let ok t =
   List.for_all (fun (_, errs) -> errs = []) t.ir_checked
   && List.for_all (fun v -> v.findings = []) (t.checked :: t.r2c @ t.baseline)
   && List.for_all (fun (o : Selfcheck.outcome) -> o.ok) t.selfcheck
+  && List.for_all (fun (o : Selfcheck.ir_outcome) -> o.ir_ok) t.ir_selfcheck
   && t.r2c_survivors < min_gadgets t.r2c
 
 let print t =
@@ -110,6 +145,18 @@ let print t =
     (fun (name, errs) ->
       List.iter (fun e -> Printf.printf "  %s: %s\n" name e) errs)
     ir_bad;
+  Table.print ~title:"IR dataflow statistics (per workload)"
+    ~headers:[ "workload"; "dead stores"; "folded"; "max iters" ]
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    (List.map
+       (fun d ->
+         [
+           d.dwork;
+           string_of_int d.dead_stores;
+           string_of_int d.folded;
+           string_of_int d.max_iterations;
+         ])
+       t.dataflow);
   let variant_row v =
     [
       v.label;
@@ -149,4 +196,16 @@ let print t =
            (if o.ok then "ok" else "MISWIRED");
          ])
        t.selfcheck);
+  Table.print ~title:"IR rule pack + validator wiring self-check"
+    ~headers:[ "mutation"; "expected rule"; "rules hit"; "findings"; "verdict" ]
+    (List.map
+       (fun (o : Selfcheck.ir_outcome) ->
+         [
+           Selfcheck.ir_mutation_to_string o.ir_mutation;
+           o.ir_expected;
+           String.concat "," o.ir_rules_hit;
+           string_of_int o.ir_n_findings;
+           (if o.ir_ok then "ok" else "MISWIRED");
+         ])
+       t.ir_selfcheck);
   Printf.printf "Audit: %s\n" (if ok t then "CLEAN" else "FINDINGS")

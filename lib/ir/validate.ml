@@ -136,6 +136,94 @@ let check (p : Ir.program) =
           (fun (b : Ir.block) ->
             if not (Hashtbl.mem seen b.lbl) then
               where (Printf.sprintf "unreachable block %d" b.lbl))
+          f.blocks;
+        (* Use before initialization: a forward may-analysis over the
+           same successor map. A non-parameter var read while its
+           "never yet defined" fact still holds on some path makes the
+           block's entry state ill-defined — the interpreter happens to
+           zero-fill, but the diversified lowering is entitled to leave
+           whatever the register allocator parked there. *)
+        let module ISet = Set.Make (Int) in
+        let uses_of_operand = function Ir.Var v -> [ v ] | _ -> [] in
+        let uses_of_instr = function
+          | Ir.Mov (_, op) | Ir.Load (_, op, _) | Ir.Load8 (_, op, _) -> uses_of_operand op
+          | Ir.Binop (_, _, a, b) | Ir.Cmp (_, _, a, b) | Ir.Store (a, _, b)
+          | Ir.Store8 (a, _, b) ->
+              uses_of_operand a @ uses_of_operand b
+          | Ir.Slot_addr _ -> []
+          | Ir.Call (_, callee, args) ->
+              (match callee with Ir.Indirect op -> uses_of_operand op | _ -> [])
+              @ List.concat_map uses_of_operand args
+        in
+        let def_of_instr = function
+          | Ir.Mov (v, _) | Ir.Binop (v, _, _, _) | Ir.Cmp (v, _, _, _)
+          | Ir.Load (v, _, _) | Ir.Load8 (v, _, _) | Ir.Slot_addr (v, _) ->
+              Some v
+          | Ir.Store _ | Ir.Store8 _ -> None
+          | Ir.Call (dst, _, _) -> dst
+        in
+        let uses_of_term = function
+          | Ir.Ret (Some op) | Ir.Cond_br (op, _, _) -> uses_of_operand op
+          | Ir.Ret None | Ir.Br _ -> []
+        in
+        let flow ?report maybe (b : Ir.block) =
+          let maybe = ref maybe in
+          let read k v =
+            match report with
+            | Some f when ISet.mem v !maybe -> f k v
+            | _ -> ()
+          in
+          List.iteri
+            (fun k instr ->
+              List.iter (read (Some k)) (uses_of_instr instr);
+              match def_of_instr instr with
+              | Some v -> maybe := ISet.remove v !maybe
+              | None -> ())
+            b.body;
+          List.iter (read None) (uses_of_term b.term);
+          !maybe
+        in
+        let entry_maybe =
+          ISet.of_list
+            (List.init (max 0 (f.nvars - f.nparams)) (fun i -> f.nparams + i))
+        in
+        let at_entry = Hashtbl.create 16 in
+        List.iteri
+          (fun bi (b : Ir.block) ->
+            Hashtbl.replace at_entry b.lbl (if bi = 0 then entry_maybe else ISet.empty))
+          f.blocks;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun (b : Ir.block) ->
+              let out = flow (Hashtbl.find at_entry b.lbl) b in
+              List.iter
+                (fun l ->
+                  match Hashtbl.find_opt at_entry l with
+                  | Some cur ->
+                      let next = ISet.union cur out in
+                      if not (ISet.equal next cur) then begin
+                        Hashtbl.replace at_entry l next;
+                        changed := true
+                      end
+                  | None -> ())
+                (Hashtbl.find succs b.lbl))
+            f.blocks
+        done;
+        let reported = Hashtbl.create 8 in
+        List.iter
+          (fun (b : Ir.block) ->
+            ignore
+              (flow
+                 ~report:(fun _k v ->
+                   if not (Hashtbl.mem reported (b.lbl, v)) then begin
+                     Hashtbl.replace reported (b.lbl, v) ();
+                     where
+                       (Printf.sprintf "var %d read before any definition (block %d)" v
+                          b.lbl)
+                   end)
+                 (Hashtbl.find at_entry b.lbl) b))
           f.blocks
     | _ -> ()
   in

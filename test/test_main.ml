@@ -9,4 +9,5 @@ let () =
    @ Test_workloads.suite @ Test_defenses.suite @ Test_runtime.suite @ Test_harness.suite
    @ Test_extensions.suite @ Test_emit.suite @ Test_text.suite @ Test_analysis.suite @ Test_linker.suite @ Test_table.suite
    @ Test_audit.suite @ Test_unwind.suite @ Test_obs.suite @ Test_fuzz.suite
-   @ Test_perf.suite @ Test_parallel.suite @ Test_fleet.suite)
+   @ Test_perf.suite @ Test_parallel.suite @ Test_fleet.suite
+   @ Test_dataflow.suite)
