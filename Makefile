@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval replay
 
 all: build
 
@@ -46,7 +46,16 @@ fleet:
 tval:
 	dune exec bin/experiments.exe -- tval --seed 3 --json-out tval_out.json
 
-check: build test audit profile fuzz fleet tval
+# Record-reduce-replay: capture the Fleetapp + Genprog workloads at the
+# builtin boundary, delta-debug the traces (>= 30% smaller), and gate on
+# replay reproducing the recorded cycles/insns/icache profile within 1%.
+# Exits nonzero on a fidelity breach or a missed reduction floor. The
+# reduced corpus refreshes bench/replays/ and the one-line report lands
+# in replay_out.json (CI archives both).
+replay:
+	dune exec bin/experiments.exe -- replay --corpus-out bench/replays --json-out replay_out.json
+
+check: build test audit profile fuzz fleet tval replay
 
 examples:
 	dune build examples

@@ -14,6 +14,49 @@ module Spec = R2c_workloads.Spec
 module Measure = R2c_harness.Measure
 open R2c_machine
 
+(* --- the traffic-derived workload class: recorded .r2cr benchmarks.
+   Each file is a reduced capture of a real serving/compute run; replaying
+   one recompiles the embedded program under its recorded diversification
+   coordinates and checks the profile reproduces within 1%. --- *)
+
+let replay_corpus_dir () =
+  if Sys.file_exists "bench/replays" then "bench/replays"
+  else if Sys.file_exists "replays" then "replays"
+  else "bench/replays"
+
+let replay_corpus () =
+  let module RT = R2c_replay.Trace in
+  RT.files ~dir:(replay_corpus_dir ())
+
+let run_replay_corpus () =
+  let module RT = R2c_replay.Trace in
+  let module RP = R2c_replay.Replayer in
+  match replay_corpus () with
+  | [] ->
+      Printf.printf
+        "replay: no .r2cr corpus under %s (generate with `experiments replay \
+         --corpus-out %s`)\n"
+        (replay_corpus_dir ()) (replay_corpus_dir ())
+  | files ->
+      List.iter
+        (fun path ->
+          let name = Filename.basename path in
+          match RT.load path with
+          | Error e -> Printf.printf "  %-20s LOAD ERROR: %s\n" name e
+          | Ok t -> (
+              match RP.check t with
+              | Error e -> Printf.printf "  %-20s REPLAY ERROR: %s\n" name e
+              | Ok v ->
+                  Printf.printf
+                    "  %-20s %10.0f cycles, %8d insns, %5d icache misses, %4d \
+                     request(s) — %s\n"
+                    name v.RP.result.RP.r_cycles v.RP.result.RP.r_insns
+                    v.RP.result.RP.r_misses
+                    (List.length (RT.feeds t))
+                    (if v.RP.failures = [] then "fidelity pass"
+                     else "FIDELITY FAIL: " ^ String.concat "; " v.RP.failures)))
+        files
+
 let experiments : (string * string * (unit -> unit)) list =
   [
     ( "table1",
@@ -51,6 +94,10 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () ->
         R2c_harness.Fleetbench.(
           print (run ~seed:11 ~requests:20_000 ~epoch_cycles:4_000_000 ())) );
+    ( "replay",
+      "Traffic-derived workload class: recorded .r2cr traces replayed under \
+       profile-fidelity gates",
+      run_replay_corpus );
   ]
 
 (* --- Bechamel: one Test.make per artifact, timing the regeneration
@@ -170,6 +217,31 @@ let emit_json ?(timings = []) path =
       (Spec.all ())
   in
   let overheads = List.map (fun (_, o, _) -> o) per_workload in
+  (* The replay corpus rides along as a workload class of its own: each
+     .r2cr re-measures under its recorded diversification coordinates. *)
+  let replays =
+    List.filter_map
+      (fun path ->
+        let module RP = R2c_replay.Replayer in
+        match R2c_replay.Trace.load path with
+        | Error _ -> None
+        | Ok t -> (
+            match RP.check t with
+            | Error _ -> None
+            | Ok v ->
+                Some
+                  ( Filename.remove_extension (Filename.basename path),
+                    Json.Obj
+                      [
+                        ("cycles", Json.Float v.RP.result.RP.r_cycles);
+                        ("insns", Json.Int v.RP.result.RP.r_insns);
+                        ("icache_misses", Json.Int v.RP.result.RP.r_misses);
+                        ( "fidelity",
+                          Json.Str (if v.RP.failures = [] then "pass" else "fail")
+                        );
+                      ] )))
+      (replay_corpus ())
+  in
   let doc =
     Json.Obj
       [
@@ -178,6 +250,7 @@ let emit_json ?(timings = []) path =
         ("jobs", Json.Int (R2c_util.Parallel.default_jobs ()));
         ( "workloads",
           Json.Obj (List.map (fun (n, _, j) -> (n, j)) per_workload) );
+        ("replays", Json.Obj replays);
         ( "summary",
           Json.Obj
             [

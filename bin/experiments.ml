@@ -419,12 +419,20 @@ let fleet_cmd =
              the recommended domain count; 1 = serial). The report is identical at any \
              width.")
   in
+  let max_p99 =
+    Arg.(
+      value & opt int 0
+      & info [ "max-p99" ] ~docv:"CYCLES"
+          ~doc:
+            "Latency SLO: fail the gate if the fleet-wide or any per-shard p99 \
+             request latency exceeds CYCLES (0 = disabled).")
+  in
   let json_out =
     Arg.(
       value & opt (some string) None
       & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
   in
-  let run seed requests shards epoch_cycles jobs json_out =
+  let run seed requests shards epoch_cycles jobs max_p99 json_out =
     let module FB = R2c_harness.Fleetbench in
     let effective_jobs =
       if jobs > 0 then jobs else R2c_util.Parallel.default_jobs ()
@@ -445,7 +453,8 @@ let fleet_cmd =
     (* The SLO gate: the campaign must have fleet scale (>= 100k requests,
        >= 4 shards), live diversity (>= 3 completed rotations), perfect
        rotations (zero rotation-caused drops) and >= 99.9% availability. *)
-    match FB.gate r with
+    let max_p99 = if max_p99 > 0 then Some max_p99 else None in
+    match FB.gate ?max_p99 r with
     | [] -> 0
     | fails ->
         List.iter (fun m -> Printf.eprintf "fleet: SLO gate failed: %s\n" m) fails;
@@ -456,8 +465,9 @@ let fleet_cmd =
        ~doc:
          "Sharded serving fleet under chaos: >=100k simulated requests across load-\
           balanced pools with admission control and epoch-based live rerandomization; \
-          exits nonzero unless availability >= 99.9% with zero rotation-caused drops.")
-    Term.(const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ json_out)
+          exits nonzero unless availability >= 99.9% with zero rotation-caused drops \
+          (and, with --max-p99, the latency SLO holds fleet-wide and per shard).")
+    Term.(const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ max_p99 $ json_out)
 
 let tval_cmd =
   let seed =
@@ -518,6 +528,83 @@ let tval_cmd =
           nonzero on any finding or uncaught plant.")
     Term.(const run $ seed $ jobs $ corpus $ json_out)
 
+let replay_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the per-case fan-out (0 = auto: \\$R2C_JOBS or the \
+             recommended domain count; 1 = serial). The report is identical at any \
+             width.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.01
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Relative profile-fidelity tolerance for cycles/insns/icache.")
+  in
+  let max_checks =
+    Arg.(
+      value & opt int 200
+      & info [ "max-checks" ] ~docv:"N"
+          ~doc:"Fidelity-oracle budget per trace reduction (each check re-runs the trace).")
+  in
+  let corpus_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"DIR"
+          ~doc:"Write the reduced .r2cr traces to DIR (the bench/replays corpus).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
+  in
+  let run jobs tolerance max_checks corpus_out json_out =
+    let module RB = R2c_harness.Replaybench in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let effective_jobs =
+      match jobs with Some j -> j | None -> R2c_util.Parallel.default_jobs ()
+    in
+    let t0 = Unix.gettimeofday () in
+    match RB.run ~tolerance ~max_checks ?jobs () with
+    | Error e ->
+        Printf.eprintf "replay: %s\n" e;
+        1
+    | Ok r ->
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        RB.print r;
+        (match corpus_out with
+        | None -> ()
+        | Some dir ->
+            List.iter
+              (fun p -> Printf.printf "  wrote %s\n" p)
+              (RB.save_corpus ~dir r));
+        let line = R2c_obs.Json.to_string (RB.json ~jobs:effective_jobs ~wall_ms r) in
+        print_endline line;
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc line;
+            output_char oc '\n';
+            close_out oc);
+        (match RB.gate r with
+        | [] -> 0
+        | fails ->
+            List.iter (fun m -> Printf.eprintf "replay: gate failed: %s\n" m) fails;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Record-reduce-replay: capture every builtin-boundary crossing of the fleet \
+          and compute workloads, delta-debug the traces (>=30% smaller), and replay \
+          them as standalone benchmarks; exits nonzero unless every replay reproduces \
+          the recorded cycles/insns/icache profile within 1%.")
+    Term.(const run $ jobs $ tolerance $ max_checks $ corpus_out $ json_out)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -541,5 +628,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            fuzz_cmd; fleet_cmd; tval_cmd; all_cmd;
+            fuzz_cmd; fleet_cmd; tval_cmd; replay_cmd; all_cmd;
           ]))

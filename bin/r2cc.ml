@@ -44,7 +44,59 @@ let machine_of_name name =
       | "xeon" -> Cost.xeon_8358
       | other -> failwith ("unknown machine " ^ other))
 
-let run_workload name config machine seed dump emit_ir trace profiled lint tval =
+(* --record: capture the run's builtin boundary into a standalone .r2cr
+   benchmark (optionally delta-debugged first), then verify the artifact
+   replays with the recorded profile before writing it. *)
+let record_run ~name ~config ~seed ~(profile : Cost.profile) ~program ~inputs
+    ~reduce path =
+  let module RT = R2c_replay.Trace in
+  let module RReduce = R2c_replay.Reduce in
+  let module RReplayer = R2c_replay.Replayer in
+  let meta =
+    {
+      RT.workload = Filename.remove_extension (Filename.basename name);
+      config;
+      seed;
+      machine = profile.Cost.name;
+      fuel = 50_000_000;
+    }
+  in
+  match
+    R2c_replay.Record.capture ~fuel:meta.RT.fuel ~meta ~program ~inputs ()
+  with
+  | Error e ->
+      prerr_endline ("record: " ^ e);
+      1
+  | Ok raw -> (
+      let t, note =
+        if reduce then begin
+          let t, r = RReduce.run raw in
+          ( t,
+            Printf.sprintf ", reduced %d -> %d bytes (%.1f%%)"
+              r.RReduce.raw_bytes r.RReduce.reduced_bytes
+              (100. *. RReduce.ratio r) )
+        end
+        else (raw, "")
+      in
+      match RReplayer.check t with
+      | Error e ->
+          prerr_endline ("record: replay check: " ^ e);
+          1
+      | Ok v ->
+          RT.save ~path t;
+          Printf.printf
+            "recorded %s under %s (seed %d): %d span(s)%s -> %s; replay \
+             fidelity %s\n"
+            meta.RT.workload config seed (RT.span_count t) note path
+            (if v.RReplayer.failures = [] then "pass" else "FAIL");
+          if v.RReplayer.failures = [] then 0
+          else begin
+            List.iter prerr_endline v.RReplayer.failures;
+            1
+          end)
+
+let run_workload name config machine seed dump emit_ir trace profiled lint tval
+    record inputs reduce =
   let program =
     (* A path ending in .r2c is compiled from source; otherwise it names a
        bundled workload. *)
@@ -94,6 +146,10 @@ let run_workload name config machine seed dump emit_ir trace profiled lint tval 
     List.iter (fun f -> print_endline ("  " ^ Lint.ir_finding_to_string f)) ir_findings;
     exit (if r.Tval.findings = [] && ir_findings = [] then 0 else 1)
   end;
+  (match record with
+  | Some path ->
+      exit (record_run ~name ~config ~seed ~profile ~program ~inputs ~reduce path)
+  | None -> ());
   let img =
     if config = "baseline" then R2c_compiler.Driver.compile program
     else R2c_core.Pipeline.compile ~seed cfg program
@@ -218,11 +274,37 @@ let () =
              execute the diversified machine code of every basic block against the IR \
              semantics and run the IR dataflow lint; exit nonzero on findings.")
   in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE.r2cr"
+          ~doc:
+            "Record the run's builtin boundary (every intercepted call with \
+             arguments, results and simulated-cycle timestamps) into a \
+             standalone replay benchmark at $(docv), verified to reproduce the \
+             recorded profile before it is written.")
+  in
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"BYTES"
+          ~doc:"Queue a read_input payload for a --record run (repeatable, in order).")
+  in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Delta-debug the recorded trace before writing it: drop observational \
+             spans, intern request payloads, collapse periodic loops — keeping \
+             only edits the profile-fidelity oracle accepts.")
+  in
   let doc = "Compile and run a bundled workload under R2C protection." in
   let cmd =
     Cmd.v (Cmd.info "r2cc" ~version:"1.0.0" ~doc)
       Term.(
         const run_workload $ workload $ config $ machine $ seed $ dump $ emit_ir $ trace
-        $ profiled $ lint $ tval)
+        $ profiled $ lint $ tval $ record $ inputs $ reduce)
   in
   exit (Cmd.eval' cmd)

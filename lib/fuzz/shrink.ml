@@ -457,30 +457,48 @@ let candidates (p : Ir.program) : (unit -> Ir.program) list =
     p.funcs;
   !cands
 
-let run ?(max_checks = 4000) ~still_fails p0 =
-  let checks = ref 0 in
-  let ok c =
-    Validate.check c = []
-    && (incr checks;
-        still_fails c)
-  in
-  let cur = ref p0 in
-  let progress = ref true in
-  (try
-     while !progress do
-       progress := false;
-       let w = weight !cur in
-       List.iter
-         (fun mk ->
-           if not !progress then begin
-             if !checks >= max_checks then raise Exit;
-             let c = mk () in
-             if weight c < w && ok c then begin
-               cur := c;
-               progress := true
-             end
-           end)
-         (candidates !cur)
-     done
-   with Exit -> ());
-  !cur
+(* The greedy delta-debugging core, independent of what is being shrunk:
+   keep proposing candidate edits, accept any that strictly decreases the
+   weight while staying [valid] and still satisfying [keep], restart the
+   candidate enumeration from the new value, stop at a fixpoint or when
+   the predicate budget runs out. The IR shrinker below and the replay
+   trace reducer are both instances. *)
+module Greedy = struct
+  type stats = { checks : int; kept : int }
+
+  let fix ?(max_checks = 4000) ~weight ~candidates ~valid ~keep v0 =
+    let checks = ref 0 in
+    let ok c =
+      valid c
+      && (incr checks;
+          keep c)
+    in
+    let cur = ref v0 in
+    let kept = ref 0 in
+    let progress = ref true in
+    (try
+       while !progress do
+         progress := false;
+         let w = weight !cur in
+         List.iter
+           (fun mk ->
+             if not !progress then begin
+               if !checks >= max_checks then raise Exit;
+               let c = mk () in
+               if weight c < w && ok c then begin
+                 cur := c;
+                 incr kept;
+                 progress := true
+               end
+             end)
+           (candidates !cur)
+       done
+     with Exit -> ());
+    (!cur, { checks = !checks; kept = !kept })
+end
+
+let run ?max_checks ~still_fails p0 =
+  fst
+    (Greedy.fix ?max_checks ~weight ~candidates
+       ~valid:(fun c -> Validate.check c = [])
+       ~keep:still_fails p0)

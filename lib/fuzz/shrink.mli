@@ -17,8 +17,33 @@
     process terminates; [max_checks] additionally bounds the number of
     predicate evaluations (each one compiles and runs the candidate). *)
 
+(** The greedy delta-debugging core, generalized away from IR so other
+    artifact kinds (notably recorded replay traces — see
+    [R2c_replay.Reduce]) can reuse the machinery: propose candidate edits
+    big-to-small, accept an edit iff it strictly decreases [weight] while
+    remaining [valid] and still satisfying [keep], restart enumeration
+    from the new value, and stop at a fixpoint or after [max_checks]
+    [keep]-evaluations (the expensive predicate — [valid] is assumed
+    cheap and is not budgeted). Strict weight decrease is the termination
+    argument. *)
+module Greedy : sig
+  type stats = {
+    checks : int;  (** [keep] evaluations spent *)
+    kept : int;  (** accepted edits *)
+  }
+
+  val fix :
+    ?max_checks:int ->
+    weight:('a -> int) ->
+    candidates:('a -> (unit -> 'a) list) ->
+    valid:('a -> bool) ->
+    keep:('a -> bool) ->
+    'a ->
+    'a * stats
+end
+
 (** [run ?max_checks ~still_fails p] — a minimal-ish program that
     validates and satisfies [still_fails]. [p] itself is assumed to fail;
     it is returned unchanged if no edit survives. Default [max_checks]:
-    4000. *)
+    4000. An instance of {!Greedy.fix} with [valid = Validate.check _ = []]. *)
 val run : ?max_checks:int -> still_fails:(Ir.program -> bool) -> Ir.program -> Ir.program

@@ -43,6 +43,8 @@ type report = {
   epochs : int;
   p50 : int;
   p99 : int;
+  shard_p50 : int list;  (** per-shard latency medians, shard order *)
+  shard_p99 : int list;  (** per-shard latency tails, shard order *)
   availability : float;
 }
 
@@ -76,12 +78,14 @@ let run ?(seed = 11) ?(requests = 100_000) ?(shards = 4)
     epochs = Fleet.epoch fleet;
     p50 = Fleet.percentile fleet 50.0;
     p99 = Fleet.percentile fleet 99.0;
+    shard_p50 = List.init shards (fun i -> Fleet.shard_percentile fleet i 50.0);
+    shard_p99 = List.init shards (fun i -> Fleet.shard_percentile fleet i 99.0);
     availability = Fleet.availability stats;
   }
 
 (* The SLO gate (E-FLEET acceptance): empty list = pass. *)
 let gate ?(min_requests = 100_000) ?(min_shards = 4) ?(min_rotations = 3)
-    ?(min_availability = 0.999) r =
+    ?(min_availability = 0.999) ?max_p99 r =
   let fails = ref [] in
   let check cond msg = if not cond then fails := msg :: !fails in
   check
@@ -97,6 +101,18 @@ let gate ?(min_requests = 100_000) ?(min_shards = 4) ?(min_rotations = 3)
   check
     (r.availability >= min_availability)
     (Printf.sprintf "availability %.5f < %.3f" r.availability min_availability);
+  (* Latency SLO (ROADMAP item 3): opt-in ceiling on the tail, checked
+     fleet-wide and per shard so one degraded shard cannot hide behind a
+     healthy aggregate. *)
+  (match max_p99 with
+  | None -> ()
+  | Some ceiling ->
+      check (r.p99 <= ceiling) (Printf.sprintf "p99 %d > %d cycles" r.p99 ceiling);
+      List.iteri
+        (fun i p ->
+          check (p <= ceiling)
+            (Printf.sprintf "shard %d p99 %d > %d cycles" i p ceiling))
+        r.shard_p99);
   List.rev !fails
 
 (* One-line JSON. Deterministic fields first; the volatile run metadata
@@ -118,6 +134,8 @@ let json ?jobs ?wall_ms r =
        ("availability", J.Float r.availability);
        ("p50_cycles", J.Int r.p50);
        ("p99_cycles", J.Int r.p99);
+       ("shard_p50_cycles", J.Arr (List.map (fun p -> J.Int p) r.shard_p50));
+       ("shard_p99_cycles", J.Arr (List.map (fun p -> J.Int p) r.shard_p99));
        ("clock_cycles", J.Int r.clock);
        ("epochs", J.Int r.epochs);
        ("rotations", J.Int f.Fleet.rotations);
@@ -144,6 +162,11 @@ let print r =
     f.Fleet.served f.Fleet.dropped f.Fleet.shed f.Fleet.rejected r.availability;
   Printf.printf "  latency p50 %d cycles  p99 %d cycles  fleet clock %d\n" r.p50 r.p99
     r.clock;
+  Printf.printf "  per-shard p50/p99:%s\n"
+    (String.concat ""
+       (List.map2
+          (fun a b -> Printf.sprintf "  %d/%d" a b)
+          r.shard_p50 r.shard_p99));
   Printf.printf
     "  rotations %d (epoch %d, rotation drops %d, drops during rotation %d, canary \
      failures %d)\n"

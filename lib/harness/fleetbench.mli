@@ -34,6 +34,8 @@ type report = {
   epochs : int;  (** completed rotations *)
   p50 : int;  (** request-latency median, cycles *)
   p99 : int;  (** request-latency tail, cycles *)
+  shard_p50 : int list;  (** per-shard latency medians, shard order *)
+  shard_p99 : int list;  (** per-shard latency tails, shard order *)
   availability : float;
 }
 
@@ -48,12 +50,15 @@ val run :
 
 (** [gate r] — the E-FLEET SLO checks; returns the list of violated
     criteria (empty = pass): campaign length, shard count, completed
-    rotations, zero rotation-caused drops, availability floor. *)
+    rotations, zero rotation-caused drops, availability floor. With
+    [?max_p99] (cycles) the latency SLO also binds: the fleet-wide p99
+    and every per-shard p99 must stay at or under the ceiling. *)
 val gate :
   ?min_requests:int ->
   ?min_shards:int ->
   ?min_rotations:int ->
   ?min_availability:float ->
+  ?max_p99:int ->
   report ->
   string list
 

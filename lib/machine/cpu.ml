@@ -25,6 +25,8 @@ type t = {
   shadow : int list ref;  (* shadow stack of return addresses (CFI) *)
   inject : Inject.t option;  (* chaos fault injector, if attached *)
   mutable observer : observer option;  (* per-step hook; None = no cost *)
+  mutable btap : (t -> string -> unit) option;
+      (* builtin-boundary tap; None = no cost *)
   mutable pdecode : Image.pslot array option;
       (* predecoded text, built on first fast-path run *)
 }
@@ -57,6 +59,7 @@ let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
       shadow = ref [];
       inject;
       observer = None;
+      btap = None;
       pdecode = None;
     }
   in
@@ -250,6 +253,11 @@ let shadow_check t ra =
 let step_builtin t name =
   t.insns <- t.insns + 1;
   dispatch_builtin t name;
+  (* The builtin-boundary tap fires after the effect, while the machine
+     state still shows the call: args in RDI/RSI, result in RAX, any
+     delivered bytes in memory. A dispatch that faulted never reaches the
+     tap — the per-step observer is the hook that sees faulting steps. *)
+  (match t.btap with None -> () | Some tap -> tap t name);
   if not t.halted then begin
     let rsp = reg_get t RSP in
     let ra = Mem.read_u64 t.mem rsp in
@@ -428,6 +436,10 @@ let step t =
           raise e)
 
 let set_observer t obs = t.observer <- obs
+
+type builtin_tap = t -> string -> unit
+
+let set_builtin_tap t tap = t.btap <- tap
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 

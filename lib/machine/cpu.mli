@@ -57,6 +57,9 @@ type t = {
   mutable observer : observer option;
       (** per-step hook ({!set_observer}); [None] (the default) costs
           nothing *)
+  mutable btap : (t -> string -> unit) option;
+      (** builtin-boundary tap ({!set_builtin_tap}); [None] (the default)
+          costs nothing *)
   mutable pdecode : Image.pslot array option;
       (** predecoded text ({!Image.predecode}), built lazily on the first
           fast-path {!run}; step-only uses (tracers, attack oracles) never
@@ -77,9 +80,28 @@ val reg_set : t -> Insn.reg -> int -> unit
 val step : t -> unit
 
 (** [set_observer t obs] attaches (or, with [None], detaches) the per-step
-    hook. At most one observer is active; attaching replaces the previous
-    one. *)
+    hook. At most one observer slot exists; attaching replaces the previous
+    one. Callers that need several hooks compose them into one with
+    {!R2c_obs.Sink.tee} (or by hand) before attaching — {!Trace.attach} and
+    [R2c_obs.Profile.attach] do that for you under [~tee:true]. *)
 val set_observer : t -> observer option -> unit
+
+(** Builtin-boundary tap: fired once per intercepted library call
+    ([print_int], [read_input], [malloc], [sensitive], ... —
+    {!Image.builtin_names}), on both interpreter tiers, immediately after
+    the builtin's effect. At tap time the machine state still shows the
+    call: arguments in RDI/RSI, the result in RAX, and any bytes a
+    [read_input] delivered sitting in memory at RDI — everything a
+    workload-capture recorder needs to snapshot the environment boundary.
+    The tap charges nothing and never perturbs execution; a builtin whose
+    dispatch faulted does not reach it. *)
+type builtin_tap = t -> string -> unit
+
+(** [set_builtin_tap t tap] attaches (or, with [None], detaches) the
+    builtin-boundary tap. [None] (the default) costs nothing; unlike the
+    per-step observer, an attached tap does not force {!run} off the
+    predecoded fast path. *)
+val set_builtin_tap : t -> builtin_tap option -> unit
 
 type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
 

@@ -41,11 +41,19 @@ let step t cpu =
   (match record_of cpu with Some r -> push t r | None -> ());
   Cpu.step cpu
 
-let attach t cpu =
-  Cpu.set_observer cpu
-    (Some
-       (fun ~rip ~cycles:_ ~misses:_ ~called:_ ->
-         match record_at cpu ~rip with Some r -> push t r | None -> ()))
+let attach ?(tee = false) t cpu =
+  let self ~rip ~cycles:_ ~misses:_ ~called:_ =
+    match record_at cpu ~rip with Some r -> push t r | None -> ()
+  in
+  let obs =
+    match (tee, cpu.Cpu.observer) with
+    | true, Some prev ->
+        fun ~rip ~cycles ~misses ~called ->
+          prev ~rip ~cycles ~misses ~called;
+          self ~rip ~cycles ~misses ~called
+    | _ -> self
+  in
+  Cpu.set_observer cpu (Some obs)
 
 let run t cpu ~fuel =
   let rec go budget =

@@ -21,12 +21,15 @@ val step : t -> Cpu.t -> unit
 (** [run t cpu ~fuel] — traced equivalent of {!Cpu.run}. *)
 val run : t -> Cpu.t -> fuel:int -> Cpu.run_result
 
-(** [attach t cpu] — record via the {!Cpu.observer} hook instead of
+(** [attach ?tee t cpu] — record via the {!Cpu.observer} hook instead of
     wrapped stepping: every instruction retired through any runner
     ({!Cpu.run}, {!Process.run}, the pool) lands in the ring, including
     the faulting instruction of a crash. [rsp] in hook-recorded entries is
-    post-step. Replaces any previously attached observer. *)
-val attach : t -> Cpu.t -> unit
+    post-step. By default any previously attached observer is replaced
+    (the pool wants exactly one fresh ring per child); with [~tee:true]
+    the previous observer keeps firing first on every step, so the ring
+    can coexist with a profiler or a workload recorder. *)
+val attach : ?tee:bool -> t -> Cpu.t -> unit
 
 (** [records t] — oldest first. *)
 val records : t -> record list

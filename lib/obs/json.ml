@@ -61,9 +61,10 @@ let to_string v =
 
 exception Parse_error of int * string
 
-let parse s =
+let parse ?(max_depth = 512) s =
   let n = String.length s in
   let pos = ref 0 in
+  let depth = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
@@ -158,58 +159,72 @@ let parse s =
     if !is_float then Float (float_of_string tok)
     else match int_of_string_opt tok with Some i -> Int i | None -> Float (float_of_string tok)
   in
+  (* Containers recurse; a depth bound turns pathological nesting (a
+     100k-'[' bomb would otherwise blow the OCaml stack) into an ordinary
+     parse error. *)
   let rec parse_value () =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
+    | Some ('{' | '[') when !depth >= max_depth -> fail "nesting too deep"
     | Some '{' ->
         advance ();
+        incr depth;
         skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((k, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Obj (members [])
-        end
+        let v =
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+        in
+        decr depth;
+        v
     | Some '[' ->
         advance ();
+        incr depth;
         skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elems (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          Arr (elems [])
-        end
+        let v =
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elems [])
+          end
+        in
+        decr depth;
+        v
     | Some '"' -> Str (parse_string ())
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)

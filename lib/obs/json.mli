@@ -23,9 +23,12 @@ val to_string : t -> string
 (** [escape s] — the JSON string literal for [s], including the quotes. *)
 val escape : string -> string
 
-(** [parse s] — parse one JSON value; trailing non-whitespace is an
-    error. Errors carry a byte offset. *)
-val parse : string -> (t, string) result
+(** [parse ?max_depth s] — parse one JSON value; trailing non-whitespace
+    is an error. Errors carry a byte offset. Containers may nest at most
+    [max_depth] (default 512) levels deep — past that the parser reports
+    ["nesting too deep"] instead of overflowing the OCaml stack on
+    adversarial input. *)
+val parse : ?max_depth:int -> string -> (t, string) result
 
 (** [member key v] — field lookup on an [Obj]; [None] otherwise. *)
 val member : string -> t -> t option

@@ -131,9 +131,19 @@ let name_at t rip =
       | Some name -> "<" ^ name ^ ">"
       | None -> "<unknown>")
 
-let attach t cpu =
+let attach ?(tee = false) t cpu =
+  let prev = if tee then cpu.Cpu.observer else None in
+  let compose self =
+    match prev with
+    | None -> self
+    | Some p ->
+        fun ~rip ~cycles ~misses ~called ->
+          p ~rip ~cycles ~misses ~called;
+          self ~rip ~cycles ~misses ~called
+  in
   Cpu.set_observer cpu
     (Some
+       (compose
        (fun ~rip ~cycles ~misses ~called ->
          let idx, a = acc_at t rip in
          let icache_c = float_of_int misses *. t.cost.Cost.icache_miss_penalty in
@@ -160,7 +170,7 @@ let attach t cpu =
            let _, callee = acc_at t callee_rip in
            callee.a_calls <- callee.a_calls + 1;
            record_edge t a.a_name (name_at t callee_rip)
-         end))
+         end)))
 
 let detach cpu = Cpu.set_observer cpu None
 

@@ -38,9 +38,13 @@ type t
     number of CPUs running that image (accumulates across them). *)
 val create : profile:Cost.profile -> Image.t -> t
 
-(** [attach t cpu] — install the profiling observer (replacing any other
-    observer on [cpu]). *)
-val attach : t -> Cpu.t -> unit
+(** [attach ?tee t cpu] — install the profiling observer. By default it
+    replaces any other observer on [cpu] (the historical semantics the
+    worker pool's fresh-ring-per-child logic relies on); with [~tee:true]
+    a previously attached observer keeps firing first on every step, so a
+    profiler can ride alongside a trace ring or a workload recorder
+    (see {!Sink.tee}). *)
+val attach : ?tee:bool -> t -> Cpu.t -> unit
 
 (** [detach cpu] — remove whatever observer is installed. *)
 val detach : Cpu.t -> unit

@@ -88,6 +88,7 @@ type shard_instruments = {
   s_failed : Obs.Metrics.counter;
   s_quarantines : Obs.Metrics.counter;
   s_depth : Obs.Metrics.gauge;
+  s_latency : Obs.Metrics.histogram;
 }
 
 type shard = {
@@ -221,6 +222,9 @@ let register_shard_instruments (sink : Obs.Sink.t) i =
       Obs.Metrics.counter ~help:"dispatches this shard failed" m (n "failed_total");
     s_quarantines = Obs.Metrics.counter ~help:"times quarantined" m (n "quarantines_total");
     s_depth = Obs.Metrics.gauge ~help:"outstanding requests" m (n "queue_depth");
+    s_latency =
+      Obs.Metrics.histogram ~help:"request latency served by this shard (cycles)" m
+        (n "request_cycles");
   }
 
 (* Build one epoch's worth of pools, fanned out across the Domain pool.
@@ -559,6 +563,7 @@ let serve_result t sh ~completion =
   Obs.Metrics.inc t.ins.f_served;
   Obs.Metrics.inc sh.si.s_served;
   Obs.Metrics.observe t.ins.f_request_cycles latency;
+  Obs.Metrics.observe sh.si.s_latency latency;
   Obs.Metrics.set_gauge sh.si.s_depth (float_of_int (Queue.length sh.completions));
   record_outcome sh ~failed:false;
   let d = Queue.length sh.completions in
@@ -647,4 +652,5 @@ let availability s =
   if s.submitted = 0 then 1.0 else float_of_int s.served /. float_of_int s.submitted
 
 let percentile t p = Obs.Metrics.percentile t.ins.f_request_cycles p
+let shard_percentile t i p = Obs.Metrics.percentile t.shards.(i).si.s_latency p
 let sink t = t.sink

@@ -147,5 +147,11 @@ val availability : stats -> float
     histogram (queue wait + service, in cycles). *)
 val percentile : t -> float -> int
 
+(** [shard_percentile t i p] — the same nearest-rank percentile over only
+    the requests shard [i] served (its [fleet_shard<i>_request_cycles]
+    histogram): the per-shard latency breakdown behind the fleet-wide
+    p50/p99, and the basis of per-shard SLO checks. *)
+val shard_percentile : t -> int -> float -> int
+
 (** [sink t] — the observability sink the fleet publishes into. *)
 val sink : t -> R2c_obs.Sink.t

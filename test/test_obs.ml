@@ -247,6 +247,140 @@ let test_events_bounded () =
   Alcotest.(check int) "kept" 5 (Events.count t);
   Alcotest.(check int) "dropped counted" 4 (Events.dropped t)
 
+(* --- parser hardening: truncation, bad escapes, nesting bombs --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_json_error_offsets () =
+  (* Every rejection carries a byte offset — truncated containers and
+     strings, malformed escapes, raw control bytes, comma slip-ups. *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ String.escaped s)
+      | Error e ->
+          Alcotest.(check bool)
+            ("offset in message for " ^ String.escaped s)
+            true
+            (String.length e >= 12 && String.sub e 0 12 = "json: offset"))
+    [
+      "{\"a\":";
+      "[1,2";
+      "\"abc";
+      "{\"a\"}";
+      "{\"a\":1,}";
+      "[1 2]";
+      "\"\\x\"";
+      "\"\\u12\"";
+      "\"\\u12zz\"";
+      "\"a\tb\"";
+      "\"half\\";
+      "12.";
+      "1e+";
+    ]
+
+let nest k = String.make k '[' ^ "1" ^ String.make k ']'
+
+let test_json_depth_limit () =
+  (* At the default bound: 512 levels parse, 513 report instead of
+     overflowing the interpreter stack. *)
+  (match Json.parse (nest 512) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("512 levels should parse: " ^ e));
+  (match Json.parse (nest 513) with
+  | Ok _ -> Alcotest.fail "accepted 513-deep nesting"
+  | Error e ->
+      Alcotest.(check bool) "names the bound" true (contains e "nesting too deep"));
+  (* Objects count too, and the bound is tunable. *)
+  (match Json.parse ~max_depth:2 "{\"a\":{\"b\":{\"c\":1}}}" with
+  | Ok _ -> Alcotest.fail "max_depth 2 accepted 3-deep object"
+  | Error _ -> ());
+  match Json.parse ~max_depth:3 "{\"a\":{\"b\":{\"c\":1}}}" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("3-deep at max_depth 3 should parse: " ^ e)
+
+(* --- Chrome trace export → re-parse round trip (property) --- *)
+
+let prop_chrome_roundtrip =
+  QCheck.Test.make ~name:"chrome trace export reparses with exact event count"
+    ~count:50
+    QCheck.(small_list (pair small_nat small_nat))
+    (fun evs ->
+      let t = Events.create ~limit:64 () in
+      List.iteri
+        (fun i (ts, dur) ->
+          if i mod 2 = 0 then
+            Events.complete t ~name:(Printf.sprintf "span\"%d\n" i) ~ts ~dur
+          else
+            Events.instant t ~name:"mark" ~ts
+              ~args:[ ("k", "v\"\\escaped"); ("n", string_of_int dur) ])
+        evs;
+      (match Json.parse (Events.to_chrome t) with
+      | Error _ -> false
+      | Ok doc -> (
+          match Json.member "traceEvents" doc with
+          | Some (Json.Arr items) -> List.length items = Events.count t
+          | _ -> false))
+      && String.split_on_char '\n' (Events.to_jsonl t)
+         |> List.for_all (fun l -> l = "" || Result.is_ok (Json.parse l)))
+
+(* --- observer fan-out: Sink.tee and the composing attaches --- *)
+
+let test_tee_fanout_order () =
+  let log = ref [] in
+  let mk tag ~rip ~cycles:_ ~misses:_ ~called:_ = log := (tag, rip) :: !log in
+  let o = Obs.Sink.tee [ mk "a"; mk "b" ] in
+  o ~rip:7 ~cycles:1.0 ~misses:0 ~called:false;
+  o ~rip:9 ~cycles:1.0 ~misses:1 ~called:true;
+  Alcotest.(check (list (pair string int)))
+    "every observer, listed order, every step"
+    [ ("a", 7); ("b", 7); ("a", 9); ("b", 9) ]
+    (List.rev !log);
+  (* Degenerate arities stay total. *)
+  (Obs.Sink.tee []) ~rip:0 ~cycles:0.0 ~misses:0 ~called:false;
+  (Obs.Sink.tee [ mk "solo" ]) ~rip:1 ~cycles:0.0 ~misses:0 ~called:false
+
+let test_tee_observers_coexist_per_step () =
+  (* Regression for the clobbering bug: two observers fanned out through
+     Sink.tee both fire on every retired instruction. *)
+  let img = R2c_compiler.Driver.compile (Samples.fib_prog 8) in
+  let cpu = Loader.load ~profile:Cost.epyc_rome img in
+  let a = ref 0 and b = ref 0 in
+  let count r ~rip:_ ~cycles:_ ~misses:_ ~called:_ = incr r in
+  Cpu.set_observer cpu (Some (Obs.Sink.tee [ count a; count b ]));
+  (match Cpu.run cpu ~fuel:1_000_000 with
+  | Cpu.Halted -> ()
+  | _ -> Alcotest.fail "run did not halt");
+  Alcotest.(check bool) "steps observed" true (!a > 0);
+  Alcotest.(check int) "both hooks fire every step" !a !b;
+  Alcotest.(check int) "hook count = retired insns" cpu.Cpu.insns !a
+
+let test_profiler_and_ring_tee () =
+  (* Profile.attach then Trace.attach ~tee:true: the ring must not evict
+     the profiler (the old set_observer clobbering), and both must see
+     the whole run. *)
+  let profile = Cost.epyc_rome in
+  let img = R2c_compiler.Driver.compile (Samples.fib_prog 8) in
+  let p = Process.start ~profile img in
+  let pr = Profile.create ~profile img in
+  Profile.attach pr p.Process.cpu;
+  let ring = Trace.create ~capacity:1_000_000 in
+  Trace.attach ~tee:true ring p.Process.cpu;
+  (match Process.run p with
+  | Process.Exited 0 -> ()
+  | o -> Alcotest.fail (Process.outcome_to_string o));
+  let prof_cycles =
+    List.fold_left
+      (fun acc (r : Profile.row) -> acc +. r.Profile.cycles)
+      0.0 (Profile.rows pr)
+  in
+  Alcotest.(check bool) "profiler attributed cycles" true (prof_cycles > 0.0);
+  Alcotest.(check int) "ring saw every insn" (Process.insns p)
+    (List.length (Trace.records ring))
+
 let suite =
   [
     ( "obs",
@@ -268,5 +402,12 @@ let suite =
           test_measure_depth_and_icache;
         Alcotest.test_case "pool span invariant + exports" `Slow test_pool_span_invariant;
         Alcotest.test_case "event timeline bounded" `Quick test_events_bounded;
+        Alcotest.test_case "json error offsets" `Quick test_json_error_offsets;
+        Alcotest.test_case "json depth limit" `Quick test_json_depth_limit;
+        QCheck_alcotest.to_alcotest prop_chrome_roundtrip;
+        Alcotest.test_case "sink tee fan-out order" `Quick test_tee_fanout_order;
+        Alcotest.test_case "tee observers coexist per step" `Quick
+          test_tee_observers_coexist_per_step;
+        Alcotest.test_case "profiler + trace ring tee" `Quick test_profiler_and_ring_tee;
       ] );
   ]
