@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval replay
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval replay rerand
 
 all: build
 
@@ -55,7 +55,16 @@ tval:
 replay:
 	dune exec bin/experiments.exe -- replay --corpus-out bench/replays --json-out replay_out.json
 
-check: build test audit profile fuzz fleet tval replay
+# Incremental rerandomization gate: warm the per-function codegen cache
+# on a 10k-function Genprog image, rotate the link seed, and require
+# every rebuild byte-identical to a cold compile, rotations recompiling
+# nothing, a one-function edit recompiling exactly that function, and
+# the rebuild beating the cold compile by >= 10x. Exits nonzero on any
+# breach. The one-line report lands in rerand_out.json (CI archives it).
+rerand:
+	dune exec bin/experiments.exe -- rerand --json-out rerand_out.json
+
+check: build test audit profile fuzz fleet tval replay rerand
 
 examples:
 	dune build examples

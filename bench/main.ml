@@ -98,6 +98,12 @@ let experiments : (string * string * (unit -> unit)) list =
       "Traffic-derived workload class: recorded .r2cr traces replayed under \
        profile-fidelity gates",
       run_replay_corpus );
+    ( "rerand",
+      "Incremental rerandomization: per-function cache warm/rotate/edit with \
+       byte-identity spot checks (small image)",
+      fun () ->
+        R2c_harness.Rerandbench.(
+          print (run ~funcs:2_000 ~rotations:4 ~checked:1 ())) );
   ]
 
 (* --- Bechamel: one Test.make per artifact, timing the regeneration

@@ -432,13 +432,22 @@ let fleet_cmd =
       value & opt (some string) None
       & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
   in
-  let run seed requests shards epoch_cycles jobs max_p99 json_out =
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Build epoch rotations through the shared per-function codegen cache \
+             (body diversification pinned at the campaign seed; rotations relink \
+             from cache hits).")
+  in
+  let run seed requests shards epoch_cycles jobs max_p99 incremental json_out =
     let module FB = R2c_harness.Fleetbench in
     let effective_jobs =
       if jobs > 0 then jobs else R2c_util.Parallel.default_jobs ()
     in
     let t0 = Unix.gettimeofday () in
-    let r = FB.run ~seed ~requests ~shards ~epoch_cycles ~jobs () in
+    let r = FB.run ~seed ~requests ~shards ~epoch_cycles ~jobs ~incremental () in
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     FB.print r;
     let line = R2c_obs.Json.to_string (FB.json ~jobs:effective_jobs ~wall_ms r) in
@@ -467,7 +476,9 @@ let fleet_cmd =
           balanced pools with admission control and epoch-based live rerandomization; \
           exits nonzero unless availability >= 99.9% with zero rotation-caused drops \
           (and, with --max-p99, the latency SLO holds fleet-wide and per shard).")
-    Term.(const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ max_p99 $ json_out)
+    Term.(
+      const run $ seed $ requests $ shards $ epoch_cycles $ jobs $ max_p99 $ incremental
+      $ json_out)
 
 let tval_cmd =
   let seed =
@@ -605,6 +616,84 @@ let replay_cmd =
           the recorded cycles/insns/icache profile within 1%.")
     Term.(const run $ jobs $ tolerance $ max_checks $ corpus_out $ json_out)
 
+let rerand_cmd =
+  let funcs =
+    Arg.(
+      value & opt int 10_000
+      & info [ "funcs" ] ~docv:"N" ~doc:"Generated program size in functions.")
+  in
+  let config =
+    Arg.(
+      value & opt string "full"
+      & info [ "config" ] ~docv:"CFG"
+          ~doc:"Diversity configuration (baseline, full, full-checked, layout).")
+  in
+  let rotations =
+    Arg.(
+      value & opt int 4
+      & info [ "rotations" ] ~docv:"N" ~doc:"Link-seed rotations through the cache.")
+  in
+  let checked =
+    Arg.(
+      value & opt int 2
+      & info [ "checked" ] ~docv:"N"
+          ~doc:"Rotations differentially fingerprinted against a cold compile.")
+  in
+  let min_speedup =
+    Arg.(
+      value & opt float 10.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Gate floor: incremental rebuild must beat cold compile by this factor \
+                (0 disables the timing gate).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for recompiling cache misses (0 = auto: \\$R2C_JOBS or \
+             the recommended domain count; 1 = serial). The report is identical at any \
+             width.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
+  in
+  let run funcs config rotations checked min_speedup jobs json_out =
+    let module RR = R2c_harness.Rerandbench in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let effective_jobs =
+      match jobs with Some j -> j | None -> R2c_util.Parallel.default_jobs ()
+    in
+    let r, t = RR.run ~funcs ~config ~rotations ~checked ?jobs () in
+    RR.print (r, t);
+    let line = R2c_obs.Json.to_string (RR.json ~jobs:effective_jobs ~timing:t r) in
+    print_endline line;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc line;
+        output_char oc '\n';
+        close_out oc);
+    let timing = if min_speedup > 0.0 then Some t else None in
+    match RR.gate ~min_speedup:(max min_speedup 1.0) ?timing r with
+    | [] -> 0
+    | fails ->
+        List.iter (fun m -> Printf.eprintf "rerand: gate failed: %s\n" m) fails;
+        1
+  in
+  Cmd.v
+    (Cmd.info "rerand"
+       ~doc:
+         "Incremental rerandomization: warm the per-function codegen cache on a \
+          Genprog-scale image, rotate the link seed, and exit nonzero unless every \
+          rebuild is byte-identical to a cold compile, rotations recompile nothing, a \
+          one-function edit recompiles exactly one function, and the rebuild beats the \
+          cold compile by the speedup floor.")
+    Term.(const run $ funcs $ config $ rotations $ checked $ min_speedup $ jobs $ json_out)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -628,5 +717,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            fuzz_cmd; fleet_cmd; tval_cmd; replay_cmd; all_cmd;
+            fuzz_cmd; fleet_cmd; tval_cmd; replay_cmd; rerand_cmd; all_cmd;
           ]))

@@ -55,7 +55,7 @@ let text_bytes (img : Image.t) =
         if off + k >= 0 && off + k < img.text_len then
           Bytes.unsafe_set b (off + k) (Char.unsafe_chr (Image.encode_byte insn k))
       done)
-    img.code_list;
+    (Lazy.force img.code_list);
   Bytes.unsafe_to_string b
 
 let scan ?(max_insns = 5) img =

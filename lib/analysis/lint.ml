@@ -69,7 +69,7 @@ let rule_wx ctx =
 let rule_btra ctx =
   let img = ctx.img in
   let ends = Hashtbl.create 4096 in
-  Array.iter (fun (a, i, l) -> Hashtbl.replace ends (a + l) i) img.Image.code_list;
+  Array.iter (fun (a, i, l) -> Hashtbl.replace ends (a + l) i) (Lazy.force img.Image.code_list);
   let fs = ref [] in
   let add addr fmt =
     Printf.ksprintf
@@ -166,7 +166,7 @@ let rule_ptr ctx =
   while !addr + 8 <= data_end do
     (match Mem.peek_u64 ctx.mem !addr with
     | Some v when v >= text_lo && v < text_hi ->
-        if Hashtbl.mem img.Image.code_ptr_slots !addr then begin
+        if Hashtbl.mem (Lazy.force img.Image.code_ptr_slots) !addr then begin
           if ctx.expect.cph then
             match Image.func_of_addr img v with
             | Some f

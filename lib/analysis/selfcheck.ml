@@ -26,12 +26,16 @@ let drop_postcheck (img : Image.t) =
           (* Overwrite the first post-check instruction with a same-size
              NOP in a deep copy of the code tables: the emitted bytes no
              longer match what checked_sites promises. *)
-          let code = Hashtbl.copy img.code in
-          Hashtbl.replace code ra (Insn.Nop len, len);
+          let code =
+            let copy = Hashtbl.copy (Lazy.force img.code) in
+            Hashtbl.replace copy ra (Insn.Nop len, len);
+            Lazy.from_val copy
+          in
           let code_list =
-            Array.map
-              (fun (a, i, l) -> if a = ra then (a, Insn.Nop len, l) else (a, i, l))
-              img.code_list
+            Lazy.from_val
+              (Array.map
+                 (fun (a, i, l) -> if a = ra then (a, Insn.Nop len, l) else (a, i, l))
+                 (Lazy.force img.code_list))
           in
           { img with code; code_list }
       | _ -> invalid_arg "Selfcheck: no post-return check at the first checked site")
@@ -48,7 +52,7 @@ let plant_code_pointer (img : Image.t) =
   {
     img with
     data_len = addr + 8 - img.data_base;
-    data_words = img.data_words @ [ (addr, victim.entry) ];
+    data_words = lazy (Lazy.force img.data_words @ [ (addr, victim.entry) ]);
   }
 
 let apply m img =

@@ -8,18 +8,22 @@ type frame_meta = {
 type emitted = {
   ename : string;
   insns : R2c_machine.Insn.t array;
+  esizes : int array;
   local_syms : (string * int) list;
   ebooby_trap : bool;
   eframe : frame_meta option;
 }
 
-let byte_size e =
-  Array.fold_left (fun acc i -> acc + R2c_machine.Insn.size i) 0 e.insns
+let byte_size e = Array.fold_left ( + ) 0 e.esizes
 
-let of_raw (r : Opts.raw_func) =
+let sizes_of ?(size = R2c_machine.Insn.size) insns = Array.map size insns
+
+let of_raw ?size (r : Opts.raw_func) =
+  let insns = Array.of_list r.rinsns in
   {
     ename = r.rname;
-    insns = Array.of_list r.rinsns;
+    insns;
+    esizes = sizes_of ?size insns;
     local_syms = [];
     ebooby_trap = r.rbooby_trap;
     eframe = None;
@@ -29,13 +33,13 @@ let to_string e =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "%s:\n" e.ename);
   let off = ref 0 in
-  Array.iter
-    (fun i ->
+  Array.iteri
+    (fun idx i ->
       List.iter
         (fun (s, o) -> if o = !off then Buffer.add_string buf (Printf.sprintf "%s:\n" s))
         e.local_syms;
       Buffer.add_string buf
         (Printf.sprintf "  +%-4d %s\n" !off (R2c_machine.Insn.to_string i));
-      off := !off + R2c_machine.Insn.size i)
+      off := !off + e.esizes.(idx))
     e.insns;
   Buffer.contents buf

@@ -19,6 +19,10 @@ type frame_meta = {
 type emitted = {
   ename : string;
   insns : R2c_machine.Insn.t array;
+  esizes : int array;
+      (** layout-assigned byte length per instruction, fixed at emission
+          by the machine description's encoder hook — the linker places
+          and the CPU advances by these, never by re-measuring *)
   local_syms : (string * int) list;  (** symbol -> byte offset *)
   ebooby_trap : bool;
   eframe : frame_meta option;  (** None for raw functions *)
@@ -27,7 +31,12 @@ type emitted = {
 (** [byte_size e] — total encoded length. *)
 val byte_size : emitted -> int
 
-(** [of_raw r] — wrap a raw machine-code function. *)
-val of_raw : Opts.raw_func -> emitted
+(** [sizes_of ?size insns] — per-instruction lengths under an encoder
+    hook (default {!R2c_machine.Insn.size}). *)
+val sizes_of : ?size:(R2c_machine.Insn.t -> int) -> R2c_machine.Insn.t array -> int array
+
+(** [of_raw ?size r] — wrap a raw machine-code function, measuring with
+    the given encoder hook. *)
+val of_raw : ?size:(R2c_machine.Insn.t -> int) -> Opts.raw_func -> emitted
 
 val to_string : emitted -> string

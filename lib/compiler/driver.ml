@@ -5,8 +5,9 @@ module Log = (val Logs.src_log src : Logs.LOG)
 exception Invalid_program of Validate.error list
 
 let emit_all ~opts (p : Ir.program) =
+  let size = opts.Opts.mdesc.Mdesc.insn_size in
   List.map (fun f -> Emit.emit_func ~opts f) p.funcs
-  @ List.map Asm.of_raw opts.Opts.raw_funcs
+  @ List.map (Asm.of_raw ~size) opts.Opts.raw_funcs
 
 let compile ?(opts = Opts.default) (p : Ir.program) =
   (match Validate.check p with
@@ -25,7 +26,10 @@ let compile_with_meta ?(opts = Opts.default) (p : Ir.program) =
   | [] -> ()
   | errors -> raise (Invalid_program errors));
   let pairs = List.map (fun f -> Emit.emit_func_meta ~opts f) p.funcs in
-  let emitted = List.map fst pairs @ List.map Asm.of_raw opts.Opts.raw_funcs in
+  let emitted =
+    List.map fst pairs
+    @ List.map (Asm.of_raw ~size:opts.Opts.mdesc.Mdesc.insn_size) opts.Opts.raw_funcs
+  in
   let img = Link.link ~opts ~main:p.main emitted p.globals in
   let meta =
     List.map2 (fun (f : Ir.func) (_, m) -> (f.name, m)) p.funcs pairs

@@ -1,6 +1,9 @@
 open R2c_machine
 
-let arg_regs = Insn.[ RDI; RSI; RDX; RCX; R8; R9 ]
+(* The default machine's argument registers, re-exported for the
+   translation validator; parameterized code reads them off the machine
+   description instead. *)
+let arg_regs = Mdesc.x86_64.Mdesc.arg_regs
 
 (* Emission buffer: instructions plus symbol definitions recorded by
    instruction index, converted to byte offsets at the end. *)
@@ -18,13 +21,14 @@ let ins eb i =
 
 let def_sym eb name = eb.sym_defs <- (name, eb.count) :: eb.sym_defs
 
-let eb_finish eb ~name ~booby_trap =
+let eb_finish eb ~size ~name ~booby_trap =
   let insns = Array.of_list (List.rev eb.rev) in
+  let esizes = Asm.sizes_of ~size insns in
   (* Prefix byte offsets per instruction index. *)
   let offsets = Array.make (Array.length insns + 1) 0 in
-  Array.iteri (fun i insn -> offsets.(i + 1) <- offsets.(i) + Insn.size insn) insns;
+  Array.iteri (fun i len -> offsets.(i + 1) <- offsets.(i) + len) esizes;
   let local_syms = List.map (fun (s, idx) -> (s, offsets.(idx))) eb.sym_defs in
-  { Asm.ename = name; insns; local_syms; ebooby_trap = booby_trap; eframe = None }
+  { Asm.ename = name; insns; esizes; local_syms; ebooby_trap = booby_trap; eframe = None }
 
 type frame = {
   ir_off : int array;  (* IR slot index -> rsp offset *)
@@ -43,6 +47,7 @@ type slot_kind =
 
 let build_frame ~(opts : Opts.t) (f : Ir.func) (alloc : Regalloc.result) ~btdps ~post_words =
   let fname = f.name in
+  let w = opts.mdesc.Mdesc.word_bytes in
   let kinds =
     List.concat
       [
@@ -66,8 +71,8 @@ let build_frame ~(opts : Opts.t) (f : Ir.func) (alloc : Regalloc.result) ~btdps 
       let k = kinds_arr.(p) in
       let size =
         match k with
-        | K_ir i -> Addr.align_up f.slots.(i) ~align:8
-        | K_spill _ | K_btdp _ | K_save _ -> 8
+        | K_ir i -> Addr.align_up f.slots.(i) ~align:w
+        | K_spill _ | K_btdp _ | K_save _ -> w
       in
       (match k with
       | K_ir i -> ir_off.(i) <- !off
@@ -76,15 +81,17 @@ let build_frame ~(opts : Opts.t) (f : Ir.func) (alloc : Regalloc.result) ~btdps 
       | K_save r -> save_slots := (r, !off) :: !save_slots);
       off := !off + size)
     perm;
-  let pad = Addr.align_up (max 0 (opts.slot_pad_bytes ~fname)) ~align:8 in
+  let pad = Addr.align_up (max 0 (opts.slot_pad_bytes ~fname)) ~align:w in
   let raw = !off + pad in
-  (* Entry rsp is 8 mod 16; after the post-offset and frame subtractions it
-     must be 0 mod 16 at call sites: frame + 8*post = 8 (mod 16). *)
-  let target_mod = (8 + (8 * post_words)) land 15 in
+  (* Entry rsp is one word past alignment (the pushed RA); after the
+     post-offset and frame subtractions it must be aligned at call sites:
+     frame + w*post = w (mod frame_align). *)
+  let amask = opts.mdesc.Mdesc.frame_align - 1 in
+  let target_mod = (w + (w * post_words)) land amask in
   let frame_size =
     let r = ref raw in
-    while !r land 15 <> target_mod do
-      r := !r + 8
+    while !r land amask <> target_mod do
+      r := !r + w
     done;
     !r
   in
@@ -100,6 +107,7 @@ let build_frame ~(opts : Opts.t) (f : Ir.func) (alloc : Regalloc.result) ~btdps 
 type ctx = {
   f : Ir.func;
   opts : Opts.t;
+  md : Mdesc.t;
   alloc : Regalloc.result;
   frame : frame;
   eb : eb;
@@ -112,7 +120,8 @@ type ctx = {
 let label_sym ctx lbl = Printf.sprintf "%s.L%d" ctx.f.name lbl
 let ra_sym fname site = Printf.sprintf "__ra_%s_%d" fname site
 
-let slot_mem ctx off = Insn.mem ~base:RSP ~disp:(off + ctx.push_adjust) ()
+let slot_mem ctx off =
+  Insn.mem ~base:ctx.md.Mdesc.stack_reg ~disp:(off + ctx.push_adjust) ()
 
 let home ctx v = ctx.alloc.assign.(v)
 
@@ -172,12 +181,18 @@ let base_mem ctx base off k =
   match base with
   | Ir.Global g -> k (Insn.mem_sym g off)
   | _ ->
-      load_operand ctx RAX base;
-      k (Insn.mem ~base:RAX ~disp:off ())
+      let ret = ctx.md.Mdesc.ret_reg in
+      load_operand ctx ret base;
+      k (Insn.mem ~base:ret ~disp:off ())
 
 let emit_call ctx dst callee args =
   let eb = ctx.eb in
   let opts = ctx.opts in
+  let md = ctx.md in
+  let w = md.Mdesc.word_bytes in
+  let sp = md.Mdesc.stack_reg in
+  let ret = md.Mdesc.ret_reg in
+  let nregs = Mdesc.nregs md in
   let fname = ctx.f.name in
   let site = ctx.site in
   ctx.site <- site + 1;
@@ -188,17 +203,20 @@ let emit_call ctx dst callee args =
     | Ir.Builtin name -> Opts.Lib name
   in
   let plan = opts.callsite_btra ~fname ~site ~callee:callee_kind in
-  (* Indirect target first, into r10, before any stack motion. *)
+  (* Indirect target first, into the indirect-call register, before any
+     stack motion. *)
   (match callee with
-  | Ir.Indirect op -> load_operand ctx R10 op
+  | Ir.Indirect op -> load_operand ctx md.Mdesc.indirect_reg op
   | Ir.Direct _ | Ir.Builtin _ -> ());
   (* Register arguments. *)
   let nargs = List.length args in
   List.iteri
-    (fun i arg -> if i < 6 then load_operand ctx (List.nth arg_regs i) arg)
+    (fun i arg -> if i < nregs then load_operand ctx (List.nth md.Mdesc.arg_regs i) arg)
     args;
   (* Stack arguments, right to left, padded to even count. *)
-  let stack_args = if nargs > 6 then List.filteri (fun i _ -> i >= 6) args else [] in
+  let stack_args =
+    if nargs > nregs then List.filteri (fun i _ -> i >= nregs) args else []
+  in
   let k = List.length stack_args in
   let pad = k land 1 in
   if k > 0 then begin
@@ -210,17 +228,17 @@ let emit_call ctx dst callee args =
            fname site);
     if pad = 1 then begin
       ins eb (Insn.Push (Imm (Abs 0)));
-      ctx.push_adjust <- ctx.push_adjust + 8
+      ctx.push_adjust <- ctx.push_adjust + w
     end;
     List.iter
       (fun arg ->
-        load_operand ctx RAX arg;
-        ins eb (Insn.Push (Reg RAX));
-        ctx.push_adjust <- ctx.push_adjust + 8)
+        load_operand ctx ret arg;
+        ins eb (Insn.Push (Reg ret));
+        ctx.push_adjust <- ctx.push_adjust + w)
       (List.rev stack_args);
     (* Offset-invariant addressing: the frame pointer marks the first stack
        argument, before any BTRA-induced variation (Section 5.1.1). *)
-    if opts.oia then ins eb (Insn.Lea (RBP, Insn.mem ~base:RSP ()))
+    if opts.oia then ins eb (Insn.Lea (md.Mdesc.frame_reg, Insn.mem ~base:sp ()))
   end;
   (* Call-site NOPs (Section 4.3). *)
   List.iter (fun w -> ins eb (Insn.Nop (max 1 (min 15 w)))) (opts.nops_before_call ~fname ~site);
@@ -228,7 +246,7 @@ let emit_call ctx dst callee args =
     match callee with
     | Ir.Direct name -> Insn.Call (TSym (name, 0))
     | Ir.Builtin name -> Insn.Call (TSym (name, 0))
-    | Ir.Indirect _ -> Insn.Call_ind (Reg R10)
+    | Ir.Indirect _ -> Insn.Call_ind (Reg md.Mdesc.indirect_reg)
   in
   let this_ra = ra_sym fname site in
   (* Unwind row: words between this RA slot and the caller's frame base —
@@ -243,14 +261,16 @@ let emit_call ctx dst callee args =
   let call_label () = def_sym eb (Printf.sprintf "__call_%s_%d" fname site) in
   (* Section 7.3 hardening: after the return, verify that a chosen
      pre-BTRA survived; corruption means someone probed the RA window.
-     Scratch is r11 — rax holds the callee's return value. *)
+     Scratch is the check register — the return register holds the
+     callee's result. *)
   let emit_check (p : Opts.callsite_plan) =
     match p.check_sym with
     | None -> ()
     | Some (slot, (s, o)) ->
+        let chk = md.Mdesc.check_reg in
         let ok = Printf.sprintf "%s.Lchk%d" fname site in
-        ins eb (Insn.Mov (Reg R11, Mem (Insn.mem ~base:RSP ~disp:(8 * slot) ())));
-        ins eb (Insn.Cmp (Reg R11, Imm (Sym (s, o))));
+        ins eb (Insn.Mov (Reg chk, Mem (Insn.mem ~base:sp ~disp:(w * slot) ())));
+        ins eb (Insn.Cmp (Reg chk, Imm (Sym (s, o))));
         ins eb (Insn.Jcc (Eq, TSym (ok, 0)));
         ins eb Insn.Trap;
         def_sym eb ok
@@ -278,13 +298,13 @@ let emit_call ctx dst callee args =
         List.iter (fun (s, o) -> ins eb (Insn.Push (Imm (Sym (s, o))))) pre;
         ins eb (Insn.Push ra_word);
         List.iter (fun (s, o) -> ins eb (Insn.Push (Imm (Sym (s, o))))) post;
-        ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * (List.length post + 1)))));
+        ins eb (Insn.Binop (Add, sp, Imm (Abs (w * (List.length post + 1)))));
         call_label ();
         ins eb target;
         def_sym eb this_ra;
         emit_check p;
         (* Step 7: the caller reverts the pre-offset. *)
-        if pre <> [] then ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * List.length pre))))
+        if pre <> [] then ins eb (Insn.Binop (Add, sp, Imm (Abs (w * List.length pre))))
       in
       let vector_setup ~chunk_words ~load ~store ~zero_upper =
         (* Figure 4: batch-write [pad; post; RA; pre] from the call-site
@@ -296,23 +316,25 @@ let emit_call ctx dst callee args =
               invalid_arg
                 (Printf.sprintf "emit: %s site %d: vector plan without array" fname site)
         in
-        let w = p.avx_pad + List.length post + 1 + List.length pre in
-        if w mod chunk_words <> 0 then
+        let batch = p.avx_pad + List.length post + 1 + List.length pre in
+        if batch mod chunk_words <> 0 then
           invalid_arg
             (Printf.sprintf "emit: %s site %d: batch of %d words not a multiple of %d"
-               fname site w chunk_words);
-        let chunk_bytes = 8 * chunk_words in
-        for j = 0 to (w / chunk_words) - 1 do
-          ins eb (load 13 (Insn.mem_sym arr (chunk_bytes * j)));
-          ins eb (store (Insn.mem ~base:RSP ~disp:((-8 * w) + (chunk_bytes * j)) ()) 13)
+               fname site batch chunk_words);
+        let chunk_bytes = w * chunk_words in
+        let vreg = md.Mdesc.vector_reg in
+        for j = 0 to (batch / chunk_words) - 1 do
+          ins eb (load vreg (Insn.mem_sym arr (chunk_bytes * j)));
+          ins eb
+            (store (Insn.mem ~base:sp ~disp:((-w * batch) + (chunk_bytes * j)) ()) vreg)
         done;
         if zero_upper then ins eb Insn.Vzeroupper;
-        ins eb (Insn.Lea (RSP, Insn.mem ~base:RSP ~disp:(-8 * List.length pre) ()));
+        ins eb (Insn.Lea (sp, Insn.mem ~base:sp ~disp:(-w * List.length pre) ()));
         call_label ();
         ins eb target;
         def_sym eb this_ra;
         emit_check p;
-        if pre <> [] then ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * List.length pre))))
+        if pre <> [] then ins eb (Insn.Binop (Add, sp, Imm (Abs (w * List.length pre))))
       in
       (match p.setup with
       | Opts.Push_setup -> push_setup ~ra_word:(Insn.Imm (Sym (this_ra, 0)))
@@ -345,81 +367,86 @@ let emit_call ctx dst callee args =
             ~zero_upper:true));
   (* Pop stack arguments and padding. *)
   if k + pad > 0 then begin
-    ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * (k + pad)))));
-    ctx.push_adjust <- ctx.push_adjust - (8 * (k + pad))
+    ins eb (Insn.Binop (Add, sp, Imm (Abs (w * (k + pad)))));
+    ctx.push_adjust <- ctx.push_adjust - (w * (k + pad))
   end;
-  match dst with Some v -> store_home ctx v RAX | None -> ()
+  match dst with Some v -> store_home ctx v ret | None -> ()
 
 let emit_instr ctx (instr : Ir.instr) =
   let eb = ctx.eb in
+  let ret = ctx.md.Mdesc.ret_reg in
+  let tmp = ctx.md.Mdesc.scratch_reg in
   match instr with
   | Ir.Mov (v, op) -> (
       match (home ctx v, op) with
       | Regalloc.In_reg r, _ ->
           load_operand ctx r op
       | Regalloc.Spilled _, _ ->
-          load_operand ctx RAX op;
-          store_home ctx v RAX)
+          load_operand ctx ret op;
+          store_home ctx v ret)
   | Ir.Binop (v, op, a, b) -> (
-      load_operand ctx RAX a;
+      load_operand ctx ret a;
       let rhs =
         match direct_operand ctx b with
         | Some o -> o
         | None ->
-            load_operand ctx RCX b;
-            Insn.Reg RCX
+            load_operand ctx tmp b;
+            Insn.Reg tmp
       in
       (match lower_binop op with
-      | `Op o -> ins eb (Insn.Binop (o, RAX, rhs))
-      | `Div -> ins eb (Insn.Div (RAX, rhs))
-      | `Rem -> ins eb (Insn.Rem (RAX, rhs)));
-      store_home ctx v RAX)
+      | `Op o -> ins eb (Insn.Binop (o, ret, rhs))
+      | `Div -> ins eb (Insn.Div (ret, rhs))
+      | `Rem -> ins eb (Insn.Rem (ret, rhs)));
+      store_home ctx v ret)
   | Ir.Cmp (v, c, a, b) ->
-      load_operand ctx RAX a;
+      load_operand ctx ret a;
       let rhs =
         match direct_operand ctx b with
         | Some o -> o
         | None ->
-            load_operand ctx RCX b;
-            Insn.Reg RCX
+            load_operand ctx tmp b;
+            Insn.Reg tmp
       in
-      ins eb (Insn.Cmp (Reg RAX, rhs));
-      ins eb (Insn.Setcc (lower_cmp c, RAX));
-      store_home ctx v RAX
+      ins eb (Insn.Cmp (Reg ret, rhs));
+      ins eb (Insn.Setcc (lower_cmp c, ret));
+      store_home ctx v ret
   | Ir.Load (v, base, off) ->
-      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Reg RAX, Mem m)));
-      store_home ctx v RAX
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Reg ret, Mem m)));
+      store_home ctx v ret
   | Ir.Load8 (v, base, off) ->
-      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Reg RAX, Mem m)));
-      store_home ctx v RAX
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Reg ret, Mem m)));
+      store_home ctx v ret
   | Ir.Store (base, off, value) ->
-      load_operand ctx RCX value;
-      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Mem m, Reg RCX)))
+      load_operand ctx tmp value;
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov (Mem m, Reg tmp)))
   | Ir.Store8 (base, off, value) ->
-      load_operand ctx RCX value;
-      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Mem m, Reg RCX)))
+      load_operand ctx tmp value;
+      base_mem ctx base off (fun m -> ins eb (Insn.Mov8 (Mem m, Reg tmp)))
   | Ir.Slot_addr (v, i) ->
-      ins eb (Insn.Lea (RAX, slot_mem ctx ctx.frame.ir_off.(i)));
-      store_home ctx v RAX
+      ins eb (Insn.Lea (ret, slot_mem ctx ctx.frame.ir_off.(i)));
+      store_home ctx v ret
   | Ir.Call (dst, callee, args) -> emit_call ctx dst callee args
 
 let emit_epilogue ctx ret_op =
   let eb = ctx.eb in
+  let ret = ctx.md.Mdesc.ret_reg in
+  let sp = ctx.md.Mdesc.stack_reg in
+  let w = ctx.md.Mdesc.word_bytes in
   (* A value-less return still defines the result register: the reference
      interpreter gives [Ret None] the value 0, and main's return is the
-     exit status — leaving stale RAX here is an observable divergence
-     (found by the differential fuzzer). *)
+     exit status — leaving a stale result register here is an observable
+     divergence (found by the differential fuzzer). *)
   (match ret_op with
-  | Some op -> load_operand ctx RAX op
-  | None -> ins eb (Insn.Mov (Reg RAX, Imm (Abs 0))));
+  | Some op -> load_operand ctx ret op
+  | None -> ins eb (Insn.Mov (Reg ret, Imm (Abs 0))));
   List.iter
     (fun (r, off) -> ins eb (Insn.Mov (Reg r, Mem (slot_mem ctx off))))
     ctx.frame.save_slots;
   if ctx.frame.frame_size > 0 then
-    ins eb (Insn.Binop (Add, RSP, Imm (Abs ctx.frame.frame_size)));
+    ins eb (Insn.Binop (Add, sp, Imm (Abs ctx.frame.frame_size)));
   (* Figure 3 step 5: the callee reverts the post-offset before ret. *)
   if ctx.frame.post_words > 0 then
-    ins eb (Insn.Binop (Add, RSP, Imm (Abs (8 * ctx.frame.post_words))));
+    ins eb (Insn.Binop (Add, sp, Imm (Abs (w * ctx.frame.post_words))));
   ins eb Insn.Ret
 
 let emit_term ctx ~next_lbl (term : Ir.term) =
@@ -428,8 +455,9 @@ let emit_term ctx ~next_lbl (term : Ir.term) =
   | Ir.Ret op -> emit_epilogue ctx op
   | Ir.Br l -> if next_lbl <> Some l then ins eb (Insn.Jmp (TSym (label_sym ctx l, 0)))
   | Ir.Cond_br (c, l1, l2) ->
-      load_operand ctx RAX c;
-      ins eb (Insn.Cmp (Reg RAX, Imm (Abs 0)));
+      let ret = ctx.md.Mdesc.ret_reg in
+      load_operand ctx ret c;
+      ins eb (Insn.Cmp (Reg ret, Imm (Abs 0)));
       ins eb (Insn.Jcc (Ne, TSym (label_sym ctx l1, 0)));
       if next_lbl <> Some l2 then ins eb (Insn.Jmp (TSym (label_sym ctx l2, 0)))
 
@@ -444,6 +472,10 @@ type tvmeta = {
 
 let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
   let fname = f.name in
+  let md = opts.mdesc in
+  let w = md.Mdesc.word_bytes in
+  let sp = md.Mdesc.stack_reg in
+  let nregs = Mdesc.nregs md in
   let alloc = Regalloc.allocate ~pool:(opts.reg_pool ~fname) f in
   let writes_frame = Array.length f.slots > 0 || alloc.nspills > 0 in
   let btdps =
@@ -455,7 +487,7 @@ let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
   let frame = build_frame ~opts f alloc ~btdps ~post_words in
   let ctx =
     {
-      f; opts; alloc; frame; eb = eb_create (); push_adjust = 0; site = 0;
+      f; opts; md; alloc; frame; eb = eb_create (); push_adjust = 0; site = 0;
       ra_sites = []; check_sites = [];
     }
   in
@@ -471,9 +503,9 @@ let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
     def_sym eb body
   end;
   (* Figure 3 step 4: skip below the post-offset BTRAs. *)
-  if post_words > 0 then ins eb (Insn.Binop (Sub, RSP, Imm (Abs (8 * post_words))));
+  if post_words > 0 then ins eb (Insn.Binop (Sub, sp, Imm (Abs (w * post_words))));
   if frame.frame_size > 0 then
-    ins eb (Insn.Binop (Sub, RSP, Imm (Abs frame.frame_size)));
+    ins eb (Insn.Binop (Sub, sp, Imm (Abs frame.frame_size)));
   List.iter
     (fun (r, off) -> ins eb (Insn.Mov (Mem (slot_mem ctx off), Reg r)))
     frame.save_slots;
@@ -482,24 +514,27 @@ let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
   (match (btdps, opts.btdp_array_sym) with
   | [], _ | _, None -> ()
   | _ :: _, Some arr_sym ->
-      ins eb (Insn.Mov (Reg R11, Mem (Insn.mem_sym arr_sym 0)));
+      let chk = md.Mdesc.check_reg and ret = md.Mdesc.ret_reg in
+      ins eb (Insn.Mov (Reg chk, Mem (Insn.mem_sym arr_sym 0)));
       List.iter
         (fun (idx, off) ->
-          ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:R11 ~disp:(8 * idx) ())));
-          ins eb (Insn.Mov (Mem (slot_mem ctx off), Reg RAX)))
+          ins eb (Insn.Mov (Reg ret, Mem (Insn.mem ~base:chk ~disp:(w * idx) ())));
+          ins eb (Insn.Mov (Mem (slot_mem ctx off), Reg ret)))
         frame.btdp_slots);
   (* Parameters to their homes. *)
   List.iteri
     (fun i r -> if i < f.nparams then store_home ctx i r)
-    arg_regs;
-  for j = 6 to f.nparams - 1 do
+    md.Mdesc.arg_regs;
+  for j = nregs to f.nparams - 1 do
+    let ret = md.Mdesc.ret_reg in
     if opts.oia then
-      ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:RBP ~disp:(8 * (j - 6)) ())))
+      ins eb
+        (Insn.Mov (Reg ret, Mem (Insn.mem ~base:md.Mdesc.frame_reg ~disp:(w * (j - nregs)) ())))
     else begin
-      let disp = frame.frame_size + (8 * post_words) + 8 + (8 * (j - 6)) in
-      ins eb (Insn.Mov (Reg RAX, Mem (Insn.mem ~base:RSP ~disp ())))
+      let disp = frame.frame_size + (w * post_words) + w + (w * (j - nregs)) in
+      ins eb (Insn.Mov (Reg ret, Mem (Insn.mem ~base:sp ~disp ())))
     end;
-    store_home ctx j RAX
+    store_home ctx j ret
   done;
   (* Body. *)
   let rec blocks = function
@@ -513,7 +548,7 @@ let emit_func_meta ~(opts : Opts.t) (f : Ir.func) =
   in
   blocks f.blocks;
   assert (ctx.push_adjust = 0);
-  let emitted = eb_finish eb ~name:fname ~booby_trap:false in
+  let emitted = eb_finish eb ~size:md.Mdesc.insn_size ~name:fname ~booby_trap:false in
   ( {
       emitted with
       Asm.eframe =

@@ -1,0 +1,225 @@
+(* Per-function incremental code generation.
+
+   The cache maps (IR function digest, diversification-slice digest,
+   machine description) to the emitted body and its lowering metadata. A
+   rebuild recompiles only functions whose key changed, fans the misses
+   over the Domain pool, and re-links — layout and symbol resolution are
+   the only whole-image work, so a steady-state rerandomization (layout
+   coordinates change, bodies do not) is relocation-only.
+
+   The slice digest does not hash the [Opts.t] closures themselves (they
+   are opaque); it hashes their *outputs* at every point this function's
+   emission will consult them: register pool, prolog traps, frame
+   padding, the callee-side post offset, BTDP indices for both frame
+   classes, alias substitutions for address-taken functions, and the
+   per-call-site NOP and BTRA plans. BTRA planning draws from one shared
+   stream across the whole program, so an IR edit in one function can
+   shift the plans of another — probing the materialized plans (rather
+   than the seed that produced them) makes the key catch exactly that.
+   Decisions that cannot be materialized without running the register
+   allocator (the frame-slot permutation's length) are covered by the
+   caller's [salt], which must change whenever the per-function
+   diversification seed does. *)
+
+type stats = { hits : int; misses : int; missed : string list }
+
+type entry = Asm.emitted * Emit.tvmeta * Link.template
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable total_hits : int;
+  mutable total_misses : int;
+  (* Key memoization: valid only while the same instrumented program is
+     rebuilt under the same caller-asserted key token — the steady-state
+     rotation path, where only link-level options change between builds.
+     Builds without a token always recompute. *)
+  mutable memo_ctx : (string * Ir.program) option;
+  memo_keys : (string, string) Hashtbl.t;
+  mutable validated : Ir.program option;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 4096;
+    total_hits = 0;
+    total_misses = 0;
+    memo_ctx = None;
+    memo_keys = Hashtbl.create 4096;
+    validated = None;
+  }
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      Hashtbl.reset t.memo_keys;
+      t.memo_ctx <- None;
+      t.validated <- None)
+
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let totals t =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.total_hits; misses = t.total_misses; missed = [] })
+
+let func_digest (f : Ir.func) = Digest.string (Marshal.to_string f [])
+
+let add_operand ~(opts : Opts.t) b (op : Ir.operand) =
+  match op with
+  | Ir.Func fn ->
+      Buffer.add_string b (opts.func_alias fn);
+      Buffer.add_char b '|'
+  | Ir.Const _ | Ir.Var _ | Ir.Global _ -> ()
+
+let slice_digest ~(opts : Opts.t) ~salt (f : Ir.func) =
+  let fname = f.name in
+  let b = Buffer.create 512 in
+  let str s = Buffer.add_string b s; Buffer.add_char b ';' in
+  let int i = Buffer.add_string b (string_of_int i); Buffer.add_char b ';' in
+  str salt;
+  str (Mdesc.fingerprint opts.mdesc);
+  int (if opts.oia then 1 else 0);
+  str (match opts.btdp_array_sym with Some s -> s | None -> "");
+  str (Marshal.to_string (opts.reg_pool ~fname) []);
+  int (opts.prolog_traps ~fname);
+  int (opts.slot_pad_bytes ~fname);
+  int (opts.post_offset_words ~fname);
+  str (Marshal.to_string (opts.btdp_indices ~fname ~writes_frame:true) []);
+  str (Marshal.to_string (opts.btdp_indices ~fname ~writes_frame:false) []);
+  (* Alias substitutions for every address-taken function operand. *)
+  let site = ref 0 in
+  List.iter
+    (fun (blk : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          (match i with
+          | Ir.Mov (_, op) -> add_operand ~opts b op
+          | Ir.Binop (_, _, a, c) | Ir.Cmp (_, _, a, c) ->
+              add_operand ~opts b a;
+              add_operand ~opts b c
+          | Ir.Load (_, base, _) | Ir.Load8 (_, base, _) -> add_operand ~opts b base
+          | Ir.Store (base, _, v) | Ir.Store8 (base, _, v) ->
+              add_operand ~opts b base;
+              add_operand ~opts b v
+          | Ir.Slot_addr _ -> ()
+          | Ir.Call (_, callee, args) ->
+              List.iter (add_operand ~opts b) args;
+              let kind =
+                match callee with
+                | Ir.Direct name -> Opts.Known name
+                | Ir.Indirect op ->
+                    add_operand ~opts b op;
+                    Opts.Unknown_indirect
+                | Ir.Builtin name -> Opts.Lib name
+              in
+              (* Per-site decisions, numbered exactly as the emitter
+                 numbers them. *)
+              str (Marshal.to_string (opts.nops_before_call ~fname ~site:!site) []);
+              str
+                (Marshal.to_string
+                   (opts.callsite_btra ~fname ~site:!site ~callee:kind)
+                   []);
+              incr site);
+          ())
+        blk.body;
+      match blk.term with
+      | Ir.Ret (Some op) | Ir.Cond_br (op, _, _) -> add_operand ~opts b op
+      | Ir.Ret None | Ir.Br _ -> ())
+    f.blocks;
+  Digest.string (Buffer.contents b)
+
+let key ~opts ~salt f =
+  Digest.to_hex (func_digest f) ^ Digest.to_hex (slice_digest ~opts ~salt f)
+
+let poison t ~opts ~salt f ~payload =
+  let e, m = payload in
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.table (key ~opts ~salt f) (e, m, Link.template e);
+      (* The planted entry must survive key memoization. *)
+      t.memo_ctx <- None;
+      Hashtbl.reset t.memo_keys)
+
+let keys_of t ~key_token ~opts ~salt (p : Ir.program) =
+  let fresh () =
+    let ks = List.map (fun f -> (f, key ~opts ~salt f)) p.funcs in
+    (match key_token with
+    | None ->
+        Hashtbl.reset t.memo_keys;
+        t.memo_ctx <- None
+    | Some tok ->
+        Hashtbl.reset t.memo_keys;
+        List.iter (fun ((f : Ir.func), k) -> Hashtbl.replace t.memo_keys f.name k) ks;
+        t.memo_ctx <- Some (tok, p));
+    ks
+  in
+  match (t.memo_ctx, key_token) with
+  | Some (tok, q), Some tok' when String.equal tok tok' && q == p ->
+      List.map (fun (f : Ir.func) -> (f, Hashtbl.find t.memo_keys f.name)) p.funcs
+  | _ -> fresh ()
+
+let build_with_meta ?jobs ?key_token t ~(opts : Opts.t) ~salt (p : Ir.program) =
+  (match t.validated with
+  | Some q when q == p -> ()
+  | _ -> (
+      match Validate.check p with
+      | [] -> t.validated <- Some p
+      | errors -> raise (Driver.Invalid_program errors)));
+  (* Phase 1 (under the lock): classify against the cache. *)
+  let keyed = Mutex.protect t.lock (fun () -> keys_of t ~key_token ~opts ~salt p) in
+  let looked =
+    Mutex.protect t.lock (fun () ->
+        List.map (fun (f, k) -> (f, k, Hashtbl.find_opt t.table k)) keyed)
+  in
+  let misses = List.filter_map (fun (f, k, e) -> if e = None then Some (f, k) else None) looked in
+  (* Phase 2 (outside the lock): emit only the invalidated functions,
+     fanned over the Domain pool. Emission only reads [opts]. *)
+  let compiled =
+    R2c_util.Parallel.map ?jobs
+      (fun ((f : Ir.func), k) ->
+        let e, m = Emit.emit_func_meta ~opts f in
+        (f.name, k, (e, m, Link.template e)))
+      misses
+  in
+  (* Phase 3 (under the lock): install results, count traffic. *)
+  let fresh = Hashtbl.create (max 16 (List.length compiled)) in
+  List.iter (fun (name, k, e) -> Hashtbl.replace fresh name (k, e)) compiled;
+  let stats =
+    Mutex.protect t.lock (fun () ->
+        List.iter (fun (_, k, e) -> Hashtbl.replace t.table k e) compiled;
+        let hits = List.length keyed - List.length misses in
+        t.total_hits <- t.total_hits + hits;
+        t.total_misses <- t.total_misses + List.length misses;
+        {
+          hits;
+          misses = List.length misses;
+          missed = List.map (fun ((f : Ir.func), _) -> f.name) misses;
+        })
+  in
+  let entries =
+    List.map
+      (fun ((f : Ir.func), k, cached) ->
+        match cached with
+        | Some e -> e
+        | None -> (
+            match Hashtbl.find_opt fresh f.name with
+            | Some (k', e) when String.equal k k' -> e
+            | _ -> assert false))
+      looked
+  in
+  let size = opts.mdesc.Mdesc.insn_size in
+  let pairs =
+    List.map (fun (e, _, t) -> (e, t)) entries
+    @ List.map
+        (fun r ->
+          let e = Asm.of_raw ~size r in
+          (e, Link.template e))
+        opts.Opts.raw_funcs
+  in
+  let img = Link.link_templated ~opts ~main:p.main pairs p.globals in
+  let meta = List.map2 (fun (f : Ir.func) (_, m, _) -> (f.name, m)) p.funcs entries in
+  (img, meta, stats)
+
+let build ?jobs ?key_token t ~opts ~salt p =
+  let img, _, stats = build_with_meta ?jobs ?key_token t ~opts ~salt p in
+  (img, stats)

@@ -14,3 +14,22 @@
     every constructor named in [opts]. *)
 val link :
   opts:Opts.t -> main:string -> Asm.emitted list -> Ir.global list -> R2c_machine.Image.t
+
+(** A function body's layout-independent placement data: per-instruction
+    byte offsets and the (sparse) relocation list. Placing a templated
+    body at a new entry address only touches the instructions on the
+    relocation list — the steady-state rerandomization relink is
+    relocation-only patching. *)
+type template
+
+val template : Asm.emitted -> template
+
+(** [link_templated] — {!link} with precomputed templates (the
+    incremental rebuild path caches one per function body). Byte-for-byte
+    the same image as {!link} on the same inputs. *)
+val link_templated :
+  opts:Opts.t ->
+  main:string ->
+  (Asm.emitted * template) list ->
+  Ir.global list ->
+  R2c_machine.Image.t

@@ -22,6 +22,7 @@ type raw_func = {
 }
 
 type t = {
+  mdesc : Mdesc.t;
   reg_pool : fname:string -> R2c_machine.Insn.reg list;
   slot_perm : fname:string -> n:int -> int array;
   slot_pad_bytes : fname:string -> int;
@@ -49,10 +50,13 @@ type t = {
 
 let identity_perm n = Array.init n (fun i -> i)
 
+let with_mdesc md t =
+  { t with mdesc = md; reg_pool = (fun ~fname:_ -> md.Mdesc.callee_saved) }
+
 let default =
   {
-    reg_pool =
-      (fun ~fname:_ -> R2c_machine.Insn.[ RBX; R12; R13; R14; R15 ]);
+    mdesc = Mdesc.x86_64;
+    reg_pool = (fun ~fname:_ -> Mdesc.x86_64.Mdesc.callee_saved);
     slot_perm = (fun ~fname:_ ~n -> identity_perm n);
     slot_pad_bytes = (fun ~fname:_ -> 0);
     prolog_traps = (fun ~fname:_ -> 0);

@@ -52,8 +52,12 @@ type raw_func = {
 }
 
 type t = {
+  mdesc : Mdesc.t;
+      (** the machine description code generation and layout consult for
+          every register-file / calling-convention / encoder constant *)
   reg_pool : fname:string -> R2c_machine.Insn.reg list;
-      (** allocatable (callee-saved) registers, in allocation order *)
+      (** allocatable (callee-saved) registers, in allocation order; must
+          draw from [mdesc.callee_saved] *)
   slot_perm : fname:string -> n:int -> int array;
       (** permutation of frame-slot order (stack slot randomization) *)
   slot_pad_bytes : fname:string -> int;
@@ -106,3 +110,8 @@ val default : t
 
 (** Fisher–Yates-free identity permutation helper. *)
 val identity_perm : int -> int array
+
+(** [with_mdesc md t] — [t] retargeted at [md]: the machine description
+    replaced and the register pool re-seated on [md]'s callee-saved file
+    (in its declared order; diversifying pipelines re-shuffle on top). *)
+val with_mdesc : Mdesc.t -> t -> t

@@ -37,6 +37,7 @@ type report = {
   requests : int;
   shards : int;
   epoch_cycles : int;
+  incremental : bool;
   fleet : Fleet.stats;
   pool : Pool.stats;  (** shard-pool totals incl. retired epochs *)
   clock : int;
@@ -55,12 +56,22 @@ type report = {
 let payload rng = Printf.sprintf "GET /item/%d" (Rng.int rng 100_000)
 
 let run ?(seed = 11) ?(requests = 100_000) ?(shards = 4)
-    ?(epoch_cycles = Fleet.default_config.Fleet.epoch_cycles) ?(jobs = 0) () =
+    ?(epoch_cycles = Fleet.default_config.Fleet.epoch_cycles) ?(jobs = 0)
+    ?(incremental = false) () =
   let cfg = fleet_cfg ~seed ~shards ~epoch_cycles ~jobs in
+  (* Incremental mode: epoch and shard seeds rotate only the layout
+     coordinates through one shared per-function codegen cache — every
+     rotation after the fleet's first build is a cache-hit relink. The
+     body diversification is pinned at the campaign seed. *)
+  let build =
+    if incremental then
+      R2c_workloads.Fleetapp.incremental_builder ~body_seed:seed
+        ?jobs:(if jobs > 0 then Some jobs else None)
+        fleet_dconfig
+    else fun ~seed -> R2c_workloads.Fleetapp.build ~seed fleet_dconfig
+  in
   let fleet =
-    Fleet.create ~cfg
-      ~build:(fun ~seed -> R2c_workloads.Fleetapp.build ~seed fleet_dconfig)
-      ~break_sym:R2c_workloads.Fleetapp.break_symbol ()
+    Fleet.create ~cfg ~build ~break_sym:R2c_workloads.Fleetapp.break_symbol ()
   in
   let rng = Rng.create (seed + 0x5eed) in
   for _ = 1 to requests do
@@ -72,6 +83,7 @@ let run ?(seed = 11) ?(requests = 100_000) ?(shards = 4)
     requests;
     shards;
     epoch_cycles;
+    incremental;
     fleet = stats;
     pool = Fleet.pool_totals fleet;
     clock = Fleet.clock fleet;
@@ -126,6 +138,7 @@ let json ?jobs ?wall_ms r =
        ("requests", J.Int f.Fleet.submitted);
        ("shards", J.Int r.shards);
        ("epoch_cycles", J.Int r.epoch_cycles);
+       ("incremental", J.Bool r.incremental);
        ("served", J.Int f.Fleet.served);
        ("dropped", J.Int f.Fleet.dropped);
        ("shed", J.Int f.Fleet.shed);

@@ -27,6 +27,10 @@ type report = {
   requests : int;  (** requested campaign length *)
   shards : int;
   epoch_cycles : int;
+  incremental : bool;
+      (** epoch builds went through the shared per-function codegen cache
+          ({!R2c_workloads.Fleetapp.incremental_builder}): rotations move
+          only the layout coordinates and relink from cache hits *)
   fleet : R2c_runtime.Fleet.stats;
   pool : R2c_runtime.Pool.stats;
       (** shard-pool totals across every epoch, retired pools included *)
@@ -45,6 +49,7 @@ val run :
   ?shards:int ->
   ?epoch_cycles:int ->
   ?jobs:int ->
+  ?incremental:bool ->
   unit ->
   report
 

@@ -6,15 +6,15 @@ type func_info = {
 }
 
 type t = {
-  code : (int, Insn.t * int) Hashtbl.t;
-  code_list : (int * Insn.t * int) array;
+  code : (int, Insn.t * int) Hashtbl.t Lazy.t;
+  code_list : (int * Insn.t * int) array Lazy.t;
   text_base : int;
   text_len : int;
   text_perm : Perm.t;
   data_base : int;
   data_len : int;
-  data_words : (int * int) list;
-  data_bytes : (int * string) list;
+  data_words : (int * int) list Lazy.t;
+  data_bytes : (int * string) list Lazy.t;
   symbols : (string, int) Hashtbl.t;
   funcs : func_info list;
   entry : int;
@@ -24,7 +24,7 @@ type t = {
   unwind_funcs : (int * int * int * int) array;
   unwind_sites : (int, int) Hashtbl.t;
   checked_sites : (int, unit) Hashtbl.t;
-  code_ptr_slots : (int, unit) Hashtbl.t;
+  code_ptr_slots : (int, unit) Hashtbl.t Lazy.t;
   shadow_stack : bool;
 }
 
@@ -34,7 +34,7 @@ let builtin_names =
     "print_int"; "print_str"; "read_input"; "sensitive"; "exit"; "backtrace";
   ]
 
-let code_at img addr = Hashtbl.find_opt img.code addr
+let code_at img addr = Hashtbl.find_opt (Lazy.force img.code) addr
 
 let is_builtin img addr = Hashtbl.mem img.builtin_addrs addr
 
@@ -83,6 +83,56 @@ let encode_byte insn k =
   if k = 0 then opcode_tag insn
   else (opcode_tag insn * 31 + k * 17) land 0xff
 
+(* Canonical digest: every observable field serialized in a fixed order,
+   hashtables dumped sorted (their internal layout depends on insertion
+   history, which byte-identical images are allowed to differ in). Two
+   images are the same executable iff their fingerprints agree — the
+   equality oracle of the incremental-rerandomization contract. *)
+let fingerprint img =
+  let code_list = Lazy.force img.code_list in
+  let b = Buffer.create (4096 + (64 * Array.length code_list)) in
+  let int i = Buffer.add_string b (string_of_int i); Buffer.add_char b ';' in
+  let str s = Buffer.add_string b s; Buffer.add_char b ';' in
+  let sorted_of_tbl tbl f =
+    let l = Hashtbl.fold (fun k v acc -> f k v :: acc) tbl [] in
+    List.sort compare l
+  in
+  int img.text_base;
+  int img.text_len;
+  str (Marshal.to_string img.text_perm []);
+  int img.data_base;
+  int img.data_len;
+  int img.entry;
+  int img.stack_bytes;
+  int img.heap_base;
+  int (if img.shadow_stack then 1 else 0);
+  Array.iter
+    (fun (addr, insn, len) ->
+      int addr;
+      int len;
+      str (Insn.to_string insn))
+    code_list;
+  List.iter (fun (a, v) -> int a; int v) (Lazy.force img.data_words);
+  List.iter (fun (a, s) -> int a; str s) (Lazy.force img.data_bytes);
+  List.iter
+    (fun (s, a) -> str s; int a)
+    (sorted_of_tbl img.symbols (fun k v -> (k, v)));
+  List.iter
+    (fun f ->
+      str f.fname;
+      int f.entry;
+      int f.code_len;
+      int (if f.is_booby_trap then 1 else 0))
+    (List.sort compare img.funcs);
+  List.iter
+    (fun (a, n) -> int a; str n)
+    (sorted_of_tbl img.builtin_addrs (fun k v -> (k, v)));
+  Array.iter (fun (e, l, fs, pw) -> int e; int l; int fs; int pw) img.unwind_funcs;
+  List.iter (fun (a, w) -> int a; int w) (sorted_of_tbl img.unwind_sites (fun k v -> (k, v)));
+  List.iter int (sorted_of_tbl img.checked_sites (fun k () -> k));
+  List.iter int (sorted_of_tbl (Lazy.force img.code_ptr_slots) (fun k () -> k));
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* Predecoded text: one dense array slot per text byte, so the fast-path
    interpreter's fetch is a single bounds-checked array read instead of a
    [builtin_addrs] probe followed by a [code] probe. Slots between
@@ -97,7 +147,7 @@ let predecode img =
   let table = Array.make (max 1 img.text_len) P_none in
   Array.iter
     (fun (addr, insn, len) -> table.(addr - img.text_base) <- P_insn (insn, len))
-    img.code_list;
+    (Lazy.force img.code_list);
   Hashtbl.iter
     (fun addr name -> table.(addr - img.text_base) <- P_builtin name)
     img.builtin_addrs;

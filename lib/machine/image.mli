@@ -19,18 +19,31 @@ type func_info = {
 }
 
 type t = {
-  code : (int, Insn.t * int) Hashtbl.t;
+  code : (int, Insn.t * int) Hashtbl.t Lazy.t;
       (** address -> decoded instruction and its layout-assigned byte
           length (the length is fixed at layout time, before symbol
-          resolution, and drives the CPU's rip advance) *)
-  code_list : (int * Insn.t * int) array;  (** ascending address order *)
+          resolution, and drives the CPU's rip advance). Derived from
+          [code_list] on first use: the fast-path interpreter fetches
+          through {!predecode}, and the incremental-rerandomization
+          rebuild path must not pay for a hash table it never probes. *)
+  code_list : (int * Insn.t * int) array Lazy.t;
+      (** ascending address order. Materialized on first use: the linker
+          records layout and relocation decisions eagerly (cheap, per
+          function) and fills the per-instruction table on demand (the
+          whole-text cost the steady-state relink never pays unless the
+          image is actually loaded, fingerprinted or audited). *)
   text_base : int;
   text_len : int;
   text_perm : Perm.t;
   data_base : int;
   data_len : int;
-  data_words : (int * int) list;  (** initialised 64-bit words *)
-  data_bytes : (int * string) list;  (** initialised byte runs *)
+  data_words : (int * int) list Lazy.t;
+      (** initialised 64-bit words. Materialized on first use together
+          with [data_bytes] and [code_ptr_slots] — initialiser volume is
+          proportional to program size (BTRA decoy arrays), so the
+          steady-state incremental relink defers it; undefined symbolic
+          initialisers are still an eager link error. *)
+  data_bytes : (int * string) list Lazy.t;  (** initialised byte runs *)
   symbols : (string, int) Hashtbl.t;
   funcs : func_info list;
   entry : int;  (** _start *)
@@ -48,7 +61,7 @@ type t = {
       (** return addresses whose call site the compiler instrumented with a
           Section 7.3 post-return booby-trap check; the static auditor
           verifies the check bytes are actually present at each *)
-  code_ptr_slots : (int, unit) Hashtbl.t;
+  code_ptr_slots : (int, unit) Hashtbl.t Lazy.t;
       (** data addresses whose initialiser legitimately holds a text
           address (function-pointer tables, BTRA decoy arrays) — every
           other readable word resolving into text is a leak *)
@@ -74,6 +87,12 @@ val func_of_addr : t -> int -> func_info option
 (** [encode_byte insn k] — [k]-th byte of the pseudo-encoding of [insn];
     used by the loader to fill text pages. *)
 val encode_byte : Insn.t -> int -> int
+
+(** [fingerprint img] — canonical content digest: every observable field
+    in a fixed order, hashtables dumped sorted. Equal fingerprints mean
+    byte-identical executables; this is the equality oracle the
+    incremental-rerandomization pipeline is gated on. *)
+val fingerprint : t -> string
 
 (** A predecoded text slot: what sits at one byte offset into the text
     segment. [P_none] marks bytes that are not an instruction start

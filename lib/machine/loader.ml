@@ -4,7 +4,7 @@ let materialize_text mem (img : Image.t) =
       for k = 0 to len - 1 do
         Mem.write_u8 mem (addr + k) (Image.encode_byte insn k)
       done)
-    img.Image.code_list
+    (Lazy.force img.Image.code_list)
 
 let load ?(strict_align = false) ?inject ~profile (img : Image.t) =
   let mem = Mem.create () in
@@ -16,10 +16,10 @@ let load ?(strict_align = false) ?inject ~profile (img : Image.t) =
   (* Data. *)
   let data_len = Addr.align_up (max img.Image.data_len Addr.page_size) ~align:Addr.page_size in
   Mem.map mem img.Image.data_base data_len Perm.rw;
-  List.iter (fun (addr, v) -> Mem.write_u64 mem addr v) img.Image.data_words;
+  List.iter (fun (addr, v) -> Mem.write_u64 mem addr v) (Lazy.force img.Image.data_words);
   List.iter
     (fun (addr, s) -> Mem.write_bytes mem addr (Bytes.of_string s))
-    img.Image.data_bytes;
+    (Lazy.force img.Image.data_bytes);
   (* Stack. *)
   let stack_len = Addr.align_up img.Image.stack_bytes ~align:Addr.page_size in
   Mem.map mem (Addr.stack_top - stack_len) stack_len Perm.rw;

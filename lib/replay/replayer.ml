@@ -18,8 +18,8 @@ type verdict = { result : run; failures : string list }
 
 let default_tolerance = 0.01
 
-let execute (t : Trace.t) =
-  let img = Trace.build t.meta t.program in
+let execute ?image (t : Trace.t) =
+  let img = match image with Some i -> i | None -> Trace.build t.meta t.program in
   let cpu = Loader.load ~profile:(Trace.cost_profile t.meta) img in
   List.iter (Cpu.push_input cpu) (Trace.feeds t);
   match Cpu.run cpu ~fuel:t.meta.fuel with
@@ -40,8 +40,8 @@ let execute (t : Trace.t) =
 
 let rel got want = Float.abs (got -. want) /. Float.max 1.0 (Float.abs want)
 
-let check ?(tolerance = default_tolerance) (t : Trace.t) =
-  match execute t with
+let check ?(tolerance = default_tolerance) ?image (t : Trace.t) =
+  match execute ?image t with
   | Error e -> Error e
   | Ok r ->
       let e = t.expect in

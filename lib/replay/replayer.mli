@@ -30,15 +30,20 @@ type verdict = {
 
 val default_tolerance : float
 
-(** [execute t] — recompile, feed, run; the measured profile. Errors on
-    fuel exhaustion or fault. *)
-val execute : Trace.t -> (run, string) result
+(** [execute ?image t] — recompile, feed, run; the measured profile.
+    Errors on fuel exhaustion or fault. With [?image] the recompile is
+    skipped and the given image runs instead — the caller asserts it was
+    built at the trace's recorded coordinates (the incremental-rebuild
+    regression path substitutes a cache-backed rebuild here and lets the
+    fidelity gate vouch for it). *)
+val execute : ?image:R2c_machine.Image.t -> Trace.t -> (run, string) result
 
 (** [check ?tolerance t] — {!execute} plus the fidelity comparison
     against [t.expect]. Counter comparisons are relative
     ([|got - want| / max 1 |want|]); exit code, output length and output
     hash are exact. *)
-val check : ?tolerance:float -> Trace.t -> (verdict, string) result
+val check :
+  ?tolerance:float -> ?image:R2c_machine.Image.t -> Trace.t -> (verdict, string) result
 
 (** JSON fragment for reports: the measured counters. *)
 val run_json : run -> R2c_obs.Json.t

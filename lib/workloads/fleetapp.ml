@@ -57,3 +57,24 @@ let program () =
     [ B.global "g_req_count" ~size:8 [] ]
 
 let build ?(seed = 1) cfg = R2c_core.Pipeline.compile ~seed cfg (program ())
+
+(* Epoch builds through the per-function codegen cache: body
+   diversification is pinned at [body_seed] and the fleet's rotating seed
+   moves only the layout/ASLR coordinates, so every rotation after the
+   first is a cache-hit relink (the R2C steady-state). The shared rerand
+   handle is serialized by a mutex — [Fleet] fans shard builds over the
+   Domain pool, and the handle's memo is single-writer. Images depend
+   only on the coordinates (the byte-identical contract), never on cache
+   state or build order, so fleet reports stay width-independent. *)
+let incremental_builder ?(body_seed = 1) ?jobs cfg =
+  let p = program () in
+  let r = R2c_core.Pipeline.rerand_create () in
+  let lock = Mutex.create () in
+  fun ~seed ->
+    Mutex.protect lock (fun () ->
+        let img, _ =
+          R2c_core.Pipeline.compile_incremental ?jobs r
+            { R2c_core.Pipeline.cfg; body_seed; link_seed = Some seed }
+            p
+        in
+        img)

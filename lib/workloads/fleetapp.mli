@@ -24,3 +24,18 @@ val break_symbol : string
 (** [build ?seed cfg] — compile the server under a diversity
     configuration. *)
 val build : ?seed:int -> R2c_core.Dconfig.t -> R2c_machine.Image.t
+
+(** [incremental_builder ?body_seed ?jobs cfg] — a fleet/pool build
+    function backed by one shared incremental-rerandomization handle
+    ({!R2c_core.Pipeline.rerand}): the body diversification is pinned at
+    [body_seed] and the rotating [~seed] moves only the layout/ASLR
+    coordinates, so every epoch rotation after the first is a cache-hit
+    relink. Thread-safe (epoch builds are serialized); the produced image
+    is a pure function of the coordinates, so fleet reports remain
+    Domain-pool-width independent. *)
+val incremental_builder :
+  ?body_seed:int ->
+  ?jobs:int ->
+  R2c_core.Dconfig.t ->
+  seed:int ->
+  R2c_machine.Image.t

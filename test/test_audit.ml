@@ -109,7 +109,7 @@ let test_code_ptr_slots_metadata () =
   let img = Lazy.force baseline_img in
   (* vulnapp's service table is a sanctioned function-pointer population. *)
   Alcotest.(check bool) "sanctioned slots recorded" true
-    (Hashtbl.length img.Image.code_ptr_slots > 0)
+    (Hashtbl.length (Lazy.force img.Image.code_ptr_slots) > 0)
 
 (* --- Gadget scanner ---------------------------------------------------- *)
 

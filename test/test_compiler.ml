@@ -86,14 +86,14 @@ let test_text_in_region () =
   Array.iter
     (fun (addr, _, _) ->
       Alcotest.(check bool) "insn in text" true (Addr.region_of addr = Addr.Text))
-    img.Image.code_list
+    (Lazy.force img.Image.code_list)
 
 let test_data_in_region () =
   let img = Driver.compile Samples.global_prog in
   List.iter
     (fun (addr, _) ->
       Alcotest.(check bool) "init word in data" true (Addr.region_of addr = Addr.Data))
-    img.Image.data_words
+    (Lazy.force img.Image.data_words)
 
 let test_func_order_respected () =
   let order_seen = ref [] in

@@ -418,7 +418,7 @@ let test_run_until_many_breakpoints () =
   in
   let in_main a = a >= main_fn.Image.entry && a < main_fn.Image.entry + main_fn.Image.code_len in
   let main_addrs =
-    Array.to_list img.Image.code_list
+    Array.to_list (Lazy.force img.Image.code_list)
     |> List.filter_map (fun (a, _, _) -> if in_main a then Some a else None)
   in
   (* Every other instruction of main, capped at 64 breakpoints. *)

@@ -29,7 +29,7 @@ let test_cph_hides_function_pointers () =
   let slot_values =
     List.filter_map
       (fun (addr, v) -> if addr >= table && addr < table + 32 then Some v else None)
-      img.Image.data_words
+      (Lazy.force img.Image.data_words)
   in
   Alcotest.(check int) "four slots" 4 (List.length slot_values);
   List.iter

@@ -1,0 +1,413 @@
+(* The incremental-rerandomization battery: differential proof that the
+   per-function codegen cache is invisible in the output.
+
+   The contract under test ({!R2c_core.Pipeline.compile_incremental}):
+   at any coordinates, the incrementally rebuilt image fingerprints
+   byte-identical to a cold compile — across the whole Oracle config
+   matrix, under random IR edits and seed moves (QCheck), and through
+   the replay and fleet harnesses. The cache traffic counters are pinned
+   alongside: rotations hit everything, a one-function edit misses
+   exactly that function, and any body-level coordinate move (config,
+   body seed, machine description) misses everything. A deliberately
+   poisoned entry must be caught by both the equality gate and the
+   translation validator. *)
+
+module Q = QCheck
+module Pipeline = R2c_core.Pipeline
+module Dconfig = R2c_core.Dconfig
+module Incremental = R2c_compiler.Incremental
+module Mdesc = R2c_compiler.Mdesc
+module Emit = R2c_compiler.Emit
+module Oracle = R2c_fuzz.Oracle
+module Genprog = R2c_workloads.Genprog
+module Image = R2c_machine.Image
+module Tval = R2c_analysis.Tval
+module RTrace = R2c_replay.Trace
+module Record = R2c_replay.Record
+module Replayer = R2c_replay.Replayer
+
+let fp = Image.fingerprint
+
+let coords cfg body_seed link_seed = { Pipeline.cfg; body_seed; link_seed }
+
+let nfuncs (p : Ir.program) = List.length p.Ir.funcs
+
+(* Instrumentation may synthesize helper functions (check handlers and
+   the like), and every instrumented function is a cache entry — so
+   "misses everything" is counted against the instrumented program. *)
+let ninstr cfg body_seed p = nfuncs (fst (Pipeline.instrument ~seed:body_seed cfg p))
+
+(* Single-function IR edits that perturb exactly one diversification
+   slice: neither changes the program's call-site population, so the
+   shared BTRA stream is consumed identically and every other function's
+   cache key survives. *)
+let edit_nvars (p : Ir.program) idx =
+  let victim = List.nth p.Ir.funcs (idx mod nfuncs p) in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) -> if f == victim then { f with Ir.nvars = f.nvars + 1 } else f)
+      p.Ir.funcs
+  in
+  ({ p with Ir.funcs }, victim.Ir.name)
+
+let bump_add_const body =
+  let hit = ref false in
+  let body' =
+    List.map
+      (function
+        | Ir.Binop (v, Ir.Add, a, Ir.Const c) when not !hit ->
+            hit := true;
+            Ir.Binop (v, Ir.Add, a, Ir.Const (c + 1))
+        | i -> i)
+      body
+  in
+  (body', !hit)
+
+let edit_const (p : Ir.program) idx =
+  let victim = List.nth p.Ir.funcs (idx mod nfuncs p) in
+  let changed = ref false in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        if f == victim then
+          {
+            f with
+            Ir.blocks =
+              List.map
+                (fun (b : Ir.block) ->
+                  if !changed then b
+                  else
+                    let body', hit = bump_add_const b.Ir.body in
+                    if hit then begin
+                      changed := true;
+                      { b with Ir.body = body' }
+                    end
+                    else b)
+                f.Ir.blocks;
+          }
+        else f)
+      p.Ir.funcs
+  in
+  if !changed then ({ p with Ir.funcs }, victim.Ir.name) else edit_nvars p idx
+
+(* --- steady-state rotation: relink-only, byte-identical ------------- *)
+
+let test_rotation_identity () =
+  let p = Genprog.generate ~seed:5 ~funcs:24 in
+  let cfg = Dconfig.full () in
+  let r = Pipeline.rerand_create () in
+  let warm, st0 = Pipeline.compile_incremental r (coords cfg 3 (Some 100)) p in
+  Alcotest.(check int) "warm build compiles every function" (ninstr cfg 3 p)
+    st0.Incremental.misses;
+  Alcotest.(check string) "warm build == cold compile"
+    (fp (Pipeline.compile_cold (coords cfg 3 (Some 100)) p))
+    (fp warm);
+  for ls = 101 to 104 do
+    let c = coords cfg 3 (Some ls) in
+    let img, st = Pipeline.compile_incremental r c p in
+    Alcotest.(check int)
+      (Printf.sprintf "rotation %d recompiles nothing" ls)
+      0 st.Incremental.misses;
+    Alcotest.(check string)
+      (Printf.sprintf "rotation %d == cold compile" ls)
+      (fp (Pipeline.compile_cold c p))
+      (fp img)
+  done
+
+(* Rebuilding at identical coordinates is also a pure relink (the memo
+   path), and the cache grows only on misses. *)
+let test_same_coords_all_hits () =
+  let p = Genprog.generate ~seed:9 ~funcs:12 in
+  let c = coords (Dconfig.full ()) 3 (Some 50) in
+  let r = Pipeline.rerand_create () in
+  let img1, _ = Pipeline.compile_incremental r c p in
+  let size1 = Incremental.size (Pipeline.rerand_cache r) in
+  let img2, st = Pipeline.compile_incremental r c p in
+  Alcotest.(check int) "no recompiles" 0 st.Incremental.misses;
+  Alcotest.(check int) "cache did not grow" size1
+    (Incremental.size (Pipeline.rerand_cache r));
+  Alcotest.(check string) "same image" (fp img1) (fp img2)
+
+(* --- the Oracle config matrix: rotate + edit at every point ---------- *)
+
+let test_matrix_identity () =
+  let p = Genprog.generate ~seed:7 ~funcs:10 in
+  List.iter
+    (fun (name, cfg) ->
+      let r = Pipeline.rerand_create () in
+      let _, st0 = Pipeline.compile_incremental r (coords cfg 3 (Some 7)) p in
+      Alcotest.(check int) (name ^ ": warm misses") (ninstr cfg 3 p)
+        st0.Incremental.misses;
+      let c1 = coords cfg 3 (Some 8) in
+      let img1, st1 = Pipeline.compile_incremental r c1 p in
+      Alcotest.(check int) (name ^ ": rotation misses") 0 st1.Incremental.misses;
+      Alcotest.(check string)
+        (name ^ ": rotation == cold")
+        (fp (Pipeline.compile_cold c1 p))
+        (fp img1);
+      let p2, victim = edit_const p 5 in
+      let c2 = coords cfg 3 (Some 9) in
+      let img2, st2 = Pipeline.compile_incremental r c2 p2 in
+      Alcotest.(check int) (name ^ ": edit misses one") 1 st2.Incremental.misses;
+      Alcotest.(check (list string)) (name ^ ": edit missed the victim") [ victim ]
+        st2.Incremental.missed;
+      Alcotest.(check string)
+        (name ^ ": edit == cold")
+        (fp (Pipeline.compile_cold c2 p2))
+        (fp img2))
+    Oracle.matrix
+
+(* --- cache invalidation: every body-level coordinate must miss ------- *)
+
+let test_invalidation () =
+  let p = Genprog.generate ~seed:13 ~funcs:8 in
+  let full = Dconfig.full () in
+  let r = Pipeline.rerand_create () in
+  let _ = Pipeline.compile_incremental r (coords full 3 (Some 5)) p in
+  (* Config change: every slice digest moves. *)
+  let _, st = Pipeline.compile_incremental r (coords Dconfig.full_checked 3 (Some 5)) p in
+  Alcotest.(check int) "config change misses all"
+    (ninstr Dconfig.full_checked 3 p)
+    st.Incremental.misses;
+  (* Body-seed change: instrumentation re-randomizes, every key moves. *)
+  let _, st = Pipeline.compile_incremental r (coords full 4 (Some 5)) p in
+  Alcotest.(check int) "body-seed change misses all" (ninstr full 4 p)
+    st.Incremental.misses;
+  (* Returning to cached coordinates hits again: invalidation is keyed,
+     not destructive. *)
+  let _, st = Pipeline.compile_incremental r (coords full 3 (Some 6)) p in
+  Alcotest.(check int) "original coordinates still cached" 0 st.Incremental.misses;
+  (* Machine-description change: the mdesc fingerprint is in every key. *)
+  let c = coords full 3 (Some 6) in
+  let img, _, st, _ =
+    Pipeline.compile_incremental_with_meta ~mdesc:Mdesc.x86_64_r15 r c p
+  in
+  Alcotest.(check int) "mdesc change misses all" (ninstr full 3 p)
+    st.Incremental.misses;
+  Alcotest.(check string) "mdesc rebuild == cold at same mdesc"
+    (fp (Pipeline.compile_cold ~mdesc:Mdesc.x86_64_r15 c p))
+    (fp img)
+
+(* --- stale-cache plant: equality gate and Tval both catch it --------- *)
+
+let twist_func (f : Ir.func) =
+  let changed = ref false in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        if !changed then b
+        else
+          let body', hit = bump_add_const b.Ir.body in
+          if hit then begin
+            changed := true;
+            { b with Ir.body = body' }
+          end
+          else b)
+      f.Ir.blocks
+  in
+  if !changed then Some { f with Ir.blocks } else None
+
+let test_stale_plant_caught () =
+  let p = Genprog.generate ~seed:21 ~funcs:10 in
+  let cfg = Dconfig.full () in
+  let c0 = coords cfg 3 (Some 30) in
+  let r = Pipeline.rerand_create () in
+  let _ = Pipeline.compile_incremental r c0 p in
+  (* Reconstruct the coordinates' instrumented program and opts — the
+     exact keying context — and plant a miscompiled body (one Add
+     constant off by one) under some function's true key. *)
+  let ip, opts = Pipeline.instrument ~seed:3 cfg p in
+  let victim, twisted =
+    match
+      List.filter_map
+        (fun f -> match twist_func f with Some t -> Some (f, t) | None -> None)
+        ip.Ir.funcs
+    with
+    | (f, t) :: _ -> (f, t)
+    | [] -> Alcotest.fail "no twistable function in the generated program"
+  in
+  let payload = Emit.emit_func_meta ~opts twisted in
+  Incremental.poison (Pipeline.rerand_cache r)
+    ~opts ~salt:(Pipeline.salt_of_coords c0) victim ~payload;
+  (* The next rotation links the stale body without recompiling... *)
+  let c1 = coords cfg 3 (Some 31) in
+  let img, meta, st, ip1 = Pipeline.compile_incremental_with_meta r c1 p in
+  Alcotest.(check int) "plant is a cache hit" 0 st.Incremental.misses;
+  (* ...the byte-identity gate catches it... *)
+  Alcotest.(check bool) "equality gate catches the plant" false
+    (String.equal (fp (Pipeline.compile_cold c1 p)) (fp img));
+  (* ...and so does the translation validator. *)
+  let report = Tval.validate ~img ~meta ip1 in
+  Alcotest.(check bool) "Tval flags the planted body" true
+    (report.Tval.findings <> []);
+  (* A fresh handle at the same coordinates is clean again. *)
+  let r2 = Pipeline.rerand_create () in
+  let clean, _ = Pipeline.compile_incremental r2 c1 p in
+  Alcotest.(check string) "fresh cache is clean"
+    (fp (Pipeline.compile_cold c1 p))
+    (fp clean)
+
+(* --- QCheck: random edit/seed/config walks vs cold compiles ---------- *)
+
+let prop_incremental_equals_cold =
+  Q.Test.make ~count:10 ~name:"incremental == cold under random edits and moves"
+    Q.(triple (int_bound 1_000) (int_bound 100) (int_bound 1_000))
+    (fun (prog_seed, cfg_idx, edit_seed) ->
+      let _, cfg = List.nth Oracle.matrix (cfg_idx mod List.length Oracle.matrix) in
+      let p = Genprog.generate ~seed:prog_seed ~funcs:(6 + (prog_seed mod 6)) in
+      let body_seed = 1 + (edit_seed mod 5) in
+      let r = Pipeline.rerand_create () in
+      let _, st0 = Pipeline.compile_incremental r (coords cfg body_seed (Some 1)) p in
+      let ok0 = st0.Incremental.misses = ninstr cfg body_seed p in
+      (* Two link rotations: all hits, final one checked against cold. *)
+      let _ = Pipeline.compile_incremental r (coords cfg body_seed (Some 2)) p in
+      let c_rot = coords cfg body_seed (Some 3) in
+      let img_rot, st_rot = Pipeline.compile_incremental r c_rot p in
+      let ok_rot =
+        st_rot.Incremental.misses = 0
+        && String.equal (fp (Pipeline.compile_cold c_rot p)) (fp img_rot)
+      in
+      (* A random single-function edit: exactly one miss, still cold. *)
+      let p2, victim =
+        if edit_seed mod 2 = 0 then edit_nvars p edit_seed else edit_const p edit_seed
+      in
+      let c_edit = coords cfg body_seed (Some 4) in
+      let img_edit, st_edit = Pipeline.compile_incremental r c_edit p2 in
+      let ok_edit =
+        st_edit.Incremental.misses = 1
+        && st_edit.Incremental.missed = [ victim ]
+        && String.equal (fp (Pipeline.compile_cold c_edit p2)) (fp img_edit)
+      in
+      (* A body-seed move: everything recompiles, still cold. *)
+      let c_move = coords cfg (body_seed + 7) (Some 4) in
+      let img_move, st_move = Pipeline.compile_incremental r c_move p2 in
+      let ok_move =
+        st_move.Incremental.misses = ninstr cfg (body_seed + 7) p2
+        && String.equal (fp (Pipeline.compile_cold c_move p2)) (fp img_move)
+      in
+      ok0 && ok_rot && ok_edit && ok_move)
+
+(* --- replay regression: traces replayed on incremental rebuilds ------ *)
+
+(* The echo workload test_replay records: enough builtin traffic for a
+   meaningful profile, small enough to capture in-process. *)
+let echo_prog ~rounds =
+  let module B = Builder in
+  let main = B.func "main" ~nparams:0 in
+  let s_i = B.slot main 8 in
+  let i_addr = B.slot_addr main s_i in
+  let s_buf = B.slot main 64 in
+  B.store main i_addr 0 (Ir.Const 0);
+  let header = B.new_block main and body = B.new_block main and stop = B.new_block main in
+  B.br main header;
+  B.switch_to main header;
+  let iv = B.load main i_addr 0 in
+  let cmp = B.cmp main Ir.Lt iv (Ir.Const rounds) in
+  B.cond_br main cmp body stop;
+  B.switch_to main body;
+  let n = B.call main (Ir.Builtin "read_input") [ B.slot_addr main s_buf; Ir.Const 64 ] in
+  B.call_void main (Ir.Builtin "print_int") [ n ];
+  let iv2 = B.load main i_addr 0 in
+  let iv3 = B.binop main Ir.Add iv2 (Ir.Const 1) in
+  B.store main i_addr 0 iv3;
+  B.br main header;
+  B.switch_to main stop;
+  B.ret main (Some (Ir.Const 0));
+  B.program ~main:"main" [ B.finish main ] []
+
+let test_replay_incremental () =
+  let program = echo_prog ~rounds:6 in
+  let meta =
+    { RTrace.workload = "echo"; config = "full"; seed = 3; machine = "EPYC Rome";
+      fuel = 2_000_000 }
+  in
+  let t =
+    match Record.capture ~fuel:2_000_000 ~meta ~program ~inputs:[ "ab"; "xyz" ] () with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("capture failed: " ^ e)
+  in
+  let cfg = RTrace.config_of_name t.RTrace.meta.RTrace.config in
+  let r = Pipeline.rerand_create () in
+  (* Warm the cache at a rotated link seed, then rebuild at the trace's
+     recorded coordinates: the replayed image is a pure relink. *)
+  let _ =
+    Pipeline.compile_incremental r
+      (coords cfg t.RTrace.meta.RTrace.seed (Some 42))
+      t.RTrace.program
+  in
+  let image, st =
+    Pipeline.compile_incremental r
+      (coords cfg t.RTrace.meta.RTrace.seed None)
+      t.RTrace.program
+  in
+  Alcotest.(check int) "recorded-coordinate rebuild is relink-only" 0
+    st.Incremental.misses;
+  match Replayer.check ~image t with
+  | Error e -> Alcotest.fail ("replay failed: " ^ e)
+  | Ok v ->
+      Alcotest.(check (list string)) "fidelity gate passes on the incremental rebuild"
+        [] v.Replayer.failures
+
+(* The on-disk corpus, when present (bench/replays ships two traces):
+   every trace must pass its fidelity gate on an incrementally rebuilt
+   image at the recorded coordinates. *)
+let corpus_dir () =
+  List.find_opt Sys.file_exists [ "../bench/replays"; "bench/replays" ]
+
+let test_replay_corpus_incremental () =
+  match corpus_dir () with
+  | None -> ()  (* corpus not shipped to this checkout; covered above *)
+  | Some dir ->
+      List.iter
+        (fun path ->
+          match RTrace.load path with
+          | Error e -> Alcotest.fail (Filename.basename path ^ ": " ^ e)
+          | Ok t when t.RTrace.meta.RTrace.config = "baseline" -> ()
+          | Ok t ->
+              let cfg = RTrace.config_of_name t.RTrace.meta.RTrace.config in
+              let r = Pipeline.rerand_create () in
+              let image, _ =
+                Pipeline.compile_incremental r
+                  (coords cfg t.RTrace.meta.RTrace.seed None)
+                  t.RTrace.program
+              in
+              (match Replayer.check ~image t with
+              | Error e -> Alcotest.fail (Filename.basename path ^ ": " ^ e)
+              | Ok v ->
+                  Alcotest.(check (list string))
+                    (Filename.basename path ^ ": fidelity on incremental rebuild")
+                    [] v.Replayer.failures))
+        (RTrace.files ~dir)
+
+(* --- fleet: epoch rotations through the cache drop nothing ----------- *)
+
+let test_fleet_incremental_rotation () =
+  let r =
+    R2c_harness.Fleetbench.run ~seed:11 ~requests:10_000 ~shards:2
+      ~epoch_cycles:1_500_000 ~incremental:true ()
+  in
+  let f = r.R2c_harness.Fleetbench.fleet in
+  Alcotest.(check bool) "campaign rotated" true
+    (f.R2c_runtime.Fleet.rotations >= 1);
+  Alcotest.(check int) "rotation drops zero with incremental builds" 0
+    f.R2c_runtime.Fleet.rotation_drops;
+  Alcotest.(check int) "no canary failures" 0 f.R2c_runtime.Fleet.canary_failures
+
+let suite =
+  [
+    ( "rerand",
+      [
+        Alcotest.test_case "rotation identity" `Quick test_rotation_identity;
+        Alcotest.test_case "same coordinates all hits" `Quick test_same_coords_all_hits;
+        Alcotest.test_case "config matrix identity" `Slow test_matrix_identity;
+        Alcotest.test_case "invalidation" `Quick test_invalidation;
+        Alcotest.test_case "stale plant caught" `Quick test_stale_plant_caught;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_cold;
+        Alcotest.test_case "replay on incremental rebuild" `Quick
+          test_replay_incremental;
+        Alcotest.test_case "replay corpus on incremental rebuilds" `Slow
+          test_replay_corpus_incremental;
+        Alcotest.test_case "fleet rotation with incremental builds" `Slow
+          test_fleet_incremental_rotation;
+      ] );
+  ]
