@@ -1,6 +1,6 @@
 # Convenience targets around dune. `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval replay rerand
+.PHONY: all build test check clean examples bench bench-json audit profile fuzz fleet tval replay rerand jit
 
 all: build
 
@@ -64,7 +64,16 @@ replay:
 rerand:
 	dune exec bin/experiments.exe -- rerand --json-out rerand_out.json
 
-check: build test audit profile fuzz fleet tval replay rerand
+# Tier-3 JIT gate: the three-tier comparison on the SPEC-like suite.
+# Exits nonzero unless reference dispatch, fast interpreter and tier-3
+# template JIT are bit-identical (cycles as IEEE bits, insns, icache,
+# faults, output) on every workload, OSR entries actually occur, and
+# steady-state tier 3 beats the reference tier by >= 5x. The one-line
+# report lands in jit_out.json (CI archives it).
+jit:
+	dune exec bin/experiments.exe -- jit --json-out jit_out.json
+
+check: build test audit profile fuzz fleet tval replay rerand jit
 
 examples:
 	dune build examples

@@ -1,36 +1,33 @@
-(* Times the reference (hash-probing) dispatch against the predecoded
-   fast path on the full SPEC-like suite under full R2C, asserting
-   bit-identical results and counters along the way. The printed ratio is
-   the Layer-1 interpreter speedup; the asserts are the two-tier
-   equivalence contract checked at workload scale. *)
-open R2c_machine
-module Pipeline = R2c_core.Pipeline
-module Dconfig = R2c_core.Dconfig
-module Spec = R2c_workloads.Spec
+(* Three-tier comparison on the full SPEC-like suite under full R2C:
+   reference dispatch vs predecoded fast path vs tier-3 template JIT
+   (steady-state, warm shared code cache). Asserts the three-way
+   bit-identicality contract per workload and gates tier 3 at >= 5x over
+   the reference tier. [--json FILE] writes the one-line report
+   (deterministic fields first, volatile timing tail last); exit is
+   nonzero on a contract breach or a missed speedup gate. *)
+module JB = R2c_harness.Jitbench
 
 let () =
-  let full = Dconfig.full () in
-  let time f =
-    let t = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t)
-  in
-  let total_ref = ref 0.0 and total_fast = ref 0.0 in
-  List.iter
-    (fun (b : Spec.benchmark) ->
-      let img = Pipeline.compile ~seed:3 full b.Spec.program in
-      let load () = Loader.load ~strict_align:false ~profile:Cost.epyc_rome img in
-      (* warm *)
-      ignore (Cpu.run (load ()) ~fuel:50_000_000);
-      let c1 = load () in
-      let r1, t_ref = time (fun () -> Cpu.run_reference c1 ~fuel:50_000_000) in
-      let c2 = load () in
-      let r2, t_fast = time (fun () -> Cpu.run c2 ~fuel:50_000_000) in
-      assert (r1 = r2 && c1.Cpu.insns = c2.Cpu.insns && c1.Cpu.cycles = c2.Cpu.cycles);
-      total_ref := !total_ref +. t_ref;
-      total_fast := !total_fast +. t_fast;
-      Printf.printf "%-12s ref %7.1fms fast %7.1fms  %.2fx  (%d insns)\n%!"
-        b.Spec.name (t_ref *. 1000.) (t_fast *. 1000.) (t_ref /. t_fast) c2.Cpu.insns)
-    (Spec.all ());
-  Printf.printf "TOTAL ref %.1fms fast %.1fms  %.2fx\n" (!total_ref *. 1000.)
-    (!total_fast *. 1000.) (!total_ref /. !total_fast)
+  let json_out = ref None in
+  let args = Array.to_list Sys.argv in
+  (match args with
+  | _ :: "--json" :: file :: _ -> json_out := Some file
+  | _ :: [] -> ()
+  | _ :: rest when rest <> [] && List.hd rest <> "--json" ->
+      prerr_endline "usage: tiercmp [--json FILE]";
+      exit 2
+  | _ -> ());
+  let r, t = JB.run () in
+  JB.print (r, t);
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (R2c_obs.Json.to_string (JB.json ~jobs:1 ~timing:t r));
+      output_char oc '\n';
+      close_out oc);
+  match JB.gate ~timing:t r with
+  | [] -> ()
+  | fails ->
+      List.iter (Printf.eprintf "tiercmp: FAIL %s\n") fails;
+      exit 1

@@ -694,6 +694,76 @@ let rerand_cmd =
           cold compile by the speedup floor.")
     Term.(const run $ funcs $ config $ rotations $ checked $ min_speedup $ jobs $ json_out)
 
+let jit_cmd =
+  let config =
+    Arg.(
+      value & opt string "full"
+      & info [ "config" ] ~docv:"CFG"
+          ~doc:"Diversity configuration (baseline, full, full-checked, layout).")
+  in
+  let seed =
+    Arg.(value & opt int 3 & info [ "seed" ] ~docv:"N" ~doc:"Diversification seed.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Per-run instruction budget.")
+  in
+  let min_speedup =
+    Arg.(
+      value & opt float 5.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Gate floor: tier 3 must beat the reference tier by this factor (0 \
+                disables the timing gate).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for compiling the workload images (0 = auto: \\$R2C_JOBS \
+             or the recommended domain count; 1 = serial). The measured runs are always \
+             serial and the report is identical at any width.")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the one-line JSON to FILE.")
+  in
+  let run config seed fuel min_speedup jobs json_out =
+    let module JB = R2c_harness.Jitbench in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let effective_jobs =
+      match jobs with Some j -> j | None -> R2c_util.Parallel.default_jobs ()
+    in
+    let r, t = JB.run ~config ~seed ~fuel ?jobs () in
+    JB.print (r, t);
+    let line = R2c_obs.Json.to_string (JB.json ~jobs:effective_jobs ~timing:t r) in
+    print_endline line;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc line;
+        output_char oc '\n';
+        close_out oc);
+    let timing = if min_speedup > 0.0 then Some t else None in
+    match JB.gate ~min_speedup:(max min_speedup 1.0) ?timing r with
+    | [] -> 0
+    | fails ->
+        List.iter (fun m -> Printf.eprintf "jit: gate failed: %s\n" m) fails;
+        1
+  in
+  Cmd.v
+    (Cmd.info "jit"
+       ~doc:
+         "Three-tier comparison on the SPEC-like suite: reference dispatch vs \
+          predecoded interpreter vs tier-3 template JIT (steady-state, warm shared \
+          code cache). Exits nonzero unless all three tiers are bit-identical on \
+          every workload and tier 3 clears the speedup floor over the reference \
+          tier.")
+    Term.(const run $ config $ seed $ fuel $ min_speedup $ jobs $ json_out)
+
 let all_cmd =
   let run seeds =
     R2c_harness.Table1.(print (run ~seeds ()));
@@ -717,5 +787,5 @@ let () =
           [
             table1_cmd; table2_cmd; table3_cmd; figure6_cmd; web_cmd; memory_cmd;
             security_cmd; scale_cmd; ablation_cmd; chaos_cmd; audit_cmd; profile_cmd;
-            fuzz_cmd; fleet_cmd; tval_cmd; replay_cmd; rerand_cmd; all_cmd;
+            fuzz_cmd; fleet_cmd; tval_cmd; replay_cmd; rerand_cmd; jit_cmd; all_cmd;
           ]))

@@ -1,5 +1,7 @@
 type observer = rip:int -> cycles:float -> misses:int -> called:bool -> unit
 
+type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
+
 type t = {
   mem : Mem.t;
   heap : Heap.t;
@@ -29,6 +31,9 @@ type t = {
       (* builtin-boundary tap; None = no cost *)
   mutable pdecode : Image.pslot array option;
       (* predecoded text, built on first fast-path run *)
+  mutable tier3 : (t -> fuel:int -> run_result) option;
+      (* the JIT runner (Jit.attach); None = run falls back to the fast
+         interpreter tier *)
 }
 
 let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
@@ -61,6 +66,7 @@ let create ?(strict_align = false) ?inject ~profile ~mem ~heap image ~rip ~rsp =
       observer = None;
       btap = None;
       pdecode = None;
+      tier3 = None;
     }
   in
   t.regs.(Insn.reg_index RSP) <- rsp;
@@ -441,8 +447,6 @@ type builtin_tap = t -> string -> unit
 
 let set_builtin_tap t tap = t.btap <- tap
 
-type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
-
 let run_reference t ~fuel =
   let rec go budget =
     if t.halted then Halted
@@ -490,10 +494,19 @@ let run_fast t ~fuel =
   in
   try go fuel with Fault.Fault f -> Faulted f
 
+(* Tier dispatch: an attached observer or injector always forces the
+   reference tier (they must see every step); otherwise tier-3 runs when
+   installed, the fast interpreter when not. All three produce identical
+   counters — the tiercmp/differential suites pin that contract down. *)
 let run t ~fuel =
   match (t.observer, t.inject) with
-  | None, None -> run_fast t ~fuel
+  | None, None -> (
+      match t.tier3 with
+      | Some jit -> jit t ~fuel
+      | None -> run_fast t ~fuel)
   | _ -> run_reference t ~fuel
+
+let set_tier3 t f = t.tier3 <- f
 
 let run_until t ~fuel ~break =
   let bset = Hashtbl.create (max 8 (List.length break)) in
@@ -512,3 +525,13 @@ let run_until t ~fuel ~break =
 let output t = Buffer.contents t.out
 
 let push_input t s = Queue.push s t.input
+
+(* Shared internals for the tier-3 compiler (lib/machine/jit.ml): its
+   deopt/interpreter path must funnel through the very same [execute] /
+   [step_builtin] the two interpreter tiers use, or the three-way
+   bit-identicality contract would rest on duplicated semantics. *)
+module Internal = struct
+  let execute = execute
+  let step_builtin = step_builtin
+  let predecoded = predecoded
+end

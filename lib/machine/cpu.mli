@@ -21,6 +21,8 @@
     run. *)
 type observer = rip:int -> cycles:float -> misses:int -> called:bool -> unit
 
+type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
+
 type t = {
   mem : Mem.t;
   heap : Heap.t;
@@ -64,6 +66,10 @@ type t = {
       (** predecoded text ({!Image.predecode}), built lazily on the first
           fast-path {!run}; step-only uses (tracers, attack oracles) never
           pay for it *)
+  mutable tier3 : (t -> fuel:int -> run_result) option;
+      (** the tier-3 JIT runner, installed by [Jit.attach] ({!set_tier3});
+          [None] (the default) makes {!run} fall back to the fast
+          interpreter tier *)
 }
 
 (** [create ?strict_align ?inject ~profile ~mem ~heap image ~rip ~rsp] —
@@ -103,14 +109,19 @@ type builtin_tap = t -> string -> unit
     predecoded fast path. *)
 val set_builtin_tap : t -> builtin_tap option -> unit
 
-type run_result = Halted | Fuel_exhausted | Faulted of Fault.t
-
 (** [run t ~fuel] steps until halt, fault, or [fuel] instructions. With no
-    observer and no injector attached it takes the predecoded fast path —
-    contractually bit-identical to {!run_reference} in cycles, insns,
-    icache misses, faults, and output; otherwise it falls back to the
-    reference dispatch. *)
+    observer and no injector attached it takes tier 3 (the template JIT,
+    when [Jit.attach] installed one) or else the predecoded fast path —
+    both contractually bit-identical to {!run_reference} in cycles, insns,
+    icache misses, faults, and output; an attached observer or injector
+    falls back to the reference dispatch (their attachment is a tier-3
+    deopt trigger). *)
 val run : t -> fuel:int -> run_result
+
+(** [set_tier3 t f] installs (or, with [None], removes) the tier-3 runner
+    {!run} dispatches to. Use [Jit.attach]/[Jit.detach] rather than
+    calling this directly. *)
+val set_tier3 : t -> (t -> fuel:int -> run_result) option -> unit
 
 (** [run_reference t ~fuel] — the slow tier of the two-version contract:
     steps via the reference (hash-probing) dispatch regardless of
@@ -126,6 +137,23 @@ val run_until : t -> fuel:int -> break:int list -> (unit, run_result) result
 
 (** [output t] — program output so far. *)
 val output : t -> string
+
+(** Shared interpreter internals for the tier-3 compiler
+    ([lib/machine/jit.ml]) only. The JIT's deopt/cold path funnels through
+    the exact [execute]/[step_builtin] the interpreter tiers use, so the
+    three-way bit-identicality contract rests on one set of semantics. *)
+module Internal : sig
+  (** [execute t rip insn size] — decode-free core step: icache charge,
+      cycle/insn accounting, dispatch. Raises {!Fault.Fault}. *)
+  val execute : t -> int -> Insn.t -> int -> unit
+
+  (** [step_builtin t name] — one intercepted library call, including the
+      builtin tap and the implicit return. *)
+  val step_builtin : t -> string -> unit
+
+  (** [predecoded t] — the cpu's lazily-built {!Image.predecode} table. *)
+  val predecoded : t -> Image.pslot array
+end
 
 (** [push_input t s] queues bytes for [read_input]. *)
 val push_input : t -> string -> unit

@@ -51,6 +51,21 @@ let access t ~addr ~len =
     !misses
   end
 
+let line_shift t = t.line_shift
+
+(* Single-line access with the line index precomputed by the caller (the
+   tier-3 compiler bakes it in per instruction). Must stay bit-identical
+   to the single-line branch of [access]. *)
+let access_line t line =
+  t.access_count <- t.access_count + 1;
+  let slot = line land (t.lines - 1) in
+  if Array.unsafe_get t.tags slot <> line then begin
+    Array.unsafe_set t.tags slot line;
+    t.miss_count <- t.miss_count + 1;
+    1
+  end
+  else 0
+
 let reset t =
   Array.fill t.tags 0 t.lines (-1);
   t.miss_count <- 0;

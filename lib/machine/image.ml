@@ -48,6 +48,11 @@ let func_of_addr img addr =
     (fun (f : func_info) -> addr >= f.entry && addr < f.entry + f.code_len)
     img.funcs
 
+let funcs_by_entry img =
+  let a = Array.of_list img.funcs in
+  Array.sort (fun (a : func_info) (b : func_info) -> compare a.entry b.entry) a;
+  a
+
 (* Pseudo-encoding: byte 0 is an opcode tag, later bytes mix the tag with
    the position. Deterministic, so a leaked text page is a stable artifact
    a disclosure attack can fingerprint. *)

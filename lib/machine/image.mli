@@ -84,6 +84,11 @@ val symbol : t -> string -> int
 (** [func_of_addr img addr] — the function whose body covers [addr]. *)
 val func_of_addr : t -> int -> func_info option
 
+(** [funcs_by_entry img] — the function table as an array sorted by entry
+    address; the tier-3 hot-function counters binary-search it to
+    attribute calls and loop backedges. *)
+val funcs_by_entry : t -> func_info array
+
 (** [encode_byte insn k] — [k]-th byte of the pseudo-encoding of [insn];
     used by the loader to fill text pages. *)
 val encode_byte : Insn.t -> int -> int

@@ -6,7 +6,7 @@ let materialize_text mem (img : Image.t) =
       done)
     (Lazy.force img.Image.code_list)
 
-let load ?(strict_align = false) ?inject ~profile (img : Image.t) =
+let load ?(strict_align = false) ?inject ?jit ?jit_cache ~profile (img : Image.t) =
   let mem = Mem.create () in
   (* Text: filled while writable, then sealed. *)
   let text_len = Addr.align_up (max img.Image.text_len Addr.page_size) ~align:Addr.page_size in
@@ -26,4 +26,12 @@ let load ?(strict_align = false) ?inject ~profile (img : Image.t) =
   let rsp = Addr.stack_top - 64 in
   assert (rsp land 15 = 0);
   let heap = Heap.create mem ~base:img.Image.heap_base in
-  Cpu.create ~strict_align ?inject ~profile ~mem ~heap img ~rip:img.Image.entry ~rsp
+  let cpu =
+    Cpu.create ~strict_align ?inject ~profile ~mem ~heap img ~rip:img.Image.entry ~rsp
+  in
+  (* Tier-3 JIT: on by default (R2C_JIT=0 disables fleet-wide). An
+     attached injector forces the reference tier anyway, so attaching a
+     JIT under injection would only waste the cache. *)
+  let want = match jit with Some b -> b | None -> Jit.enabled () in
+  if want && Option.is_none inject then ignore (Jit.attach ?cache:jit_cache cpu);
+  cpu

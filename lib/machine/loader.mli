@@ -7,4 +7,16 @@
     read-write with its initialisers applied; the stack is mapped at the
     canonical top of user space. *)
 
-val load : ?strict_align:bool -> ?inject:Inject.t -> profile:Cost.profile -> Image.t -> Cpu.t
+(** [load ?strict_align ?inject ?jit ?jit_cache ~profile img]. [?jit]
+    (default {!Jit.enabled}, i.e. on unless [R2C_JIT=0]) attaches the
+    tier-3 JIT to the fresh CPU; [?jit_cache] shares an existing code
+    cache (warm restarts — see {!Process.restart}). An injector disables
+    the attachment: injector presence already forces the reference tier. *)
+val load :
+  ?strict_align:bool ->
+  ?inject:Inject.t ->
+  ?jit:bool ->
+  ?jit_cache:Jit.cache ->
+  profile:Cost.profile ->
+  Image.t ->
+  Cpu.t

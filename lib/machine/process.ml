@@ -6,6 +6,8 @@ type t = {
   fuel : int;
   strict_align : bool;
   inject : Inject.t option;
+  jit : bool;
+  jit_cache : Jit.cache option;
   mutable cpu : Cpu.t;
   mutable fuel_left : int;
   mutable detections : Fault.t list;
@@ -14,14 +16,20 @@ type t = {
 }
 
 let start ?(profile = Cost.epyc_rome) ?(fuel = 50_000_000) ?(strict_align = false) ?inject
-    image =
+    ?jit image =
+  (* One code cache per process, shared across respawns: a restarted
+     worker reuses the hot code its predecessor compiled. *)
+  let jit = (match jit with Some b -> b | None -> Jit.enabled ()) && Option.is_none inject in
+  let jit_cache = if jit then Some (Jit.create_cache ~profile image) else None in
   {
     image;
     profile;
     fuel;
     strict_align;
     inject;
-    cpu = Loader.load ~strict_align ?inject ~profile image;
+    jit;
+    jit_cache;
+    cpu = Loader.load ~strict_align ?inject ~jit ?jit_cache ~profile image;
     fuel_left = fuel;
     detections = [];
     crashes = 0;
@@ -70,7 +78,9 @@ let run_until ?fuel t ~break =
       `Done (Crashed f)
 
 let restart t =
-  t.cpu <- Loader.load ~strict_align:t.strict_align ?inject:t.inject ~profile:t.profile t.image;
+  t.cpu <-
+    Loader.load ~strict_align:t.strict_align ?inject:t.inject ~jit:t.jit
+      ?jit_cache:t.jit_cache ~profile:t.profile t.image;
   (* A respawned worker gets the full fuel budget again, exactly as a
      [start]ed one does. *)
   t.fuel_left <- t.fuel;
@@ -89,6 +99,7 @@ let icache_misses t = Icache.misses t.cpu.Cpu.icache
 let icache_accesses t = Icache.accesses t.cpu.Cpu.icache
 let fuel_left t = t.fuel_left
 let maxrss_bytes t = Mem.max_mapped_pages t.cpu.Cpu.mem * Addr.page_size
+let jit_stats t = Option.map Jit.cache_stats t.jit_cache
 let output t = Cpu.output t.cpu
 let sensitive_log t = t.cpu.Cpu.sensitive_log
 let detected t = t.detections <> []

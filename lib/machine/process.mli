@@ -19,6 +19,11 @@ type t = {
   fuel : int;
   strict_align : bool;
   inject : Inject.t option;  (** chaos injector, re-attached on restart *)
+  jit : bool;  (** tier-3 JIT attached to each incarnation's CPU *)
+  jit_cache : Jit.cache option;
+      (** the process's code cache, shared across {!restart}s so respawned
+          workers start with their predecessor's hot code already
+          compiled *)
   mutable cpu : Cpu.t;
   mutable fuel_left : int;  (** remaining lifetime budget, in instructions *)
   mutable detections : Fault.t list;
@@ -26,12 +31,15 @@ type t = {
   mutable restarts : int;
 }
 
-(** [start ?profile ?fuel ?strict_align ?inject image] loads the image;
-    nothing runs yet. Default profile {!Cost.epyc_rome}, default fuel 50M
-    instructions, strict alignment off, no injection. *)
+(** [start ?profile ?fuel ?strict_align ?inject ?jit image] loads the
+    image; nothing runs yet. Default profile {!Cost.epyc_rome}, default
+    fuel 50M instructions, strict alignment off, no injection. [?jit]
+    (default {!Jit.enabled}) attaches the tier-3 JIT with a per-process
+    code cache; an injector disables it (injection already forces the
+    reference tier). *)
 val start :
   ?profile:Cost.profile -> ?fuel:int -> ?strict_align:bool -> ?inject:Inject.t ->
-  Image.t -> t
+  ?jit:bool -> Image.t -> t
 
 (** [run ?fuel t] — run to halt/fault/fuel, recording crashes and
     detections. [?fuel] caps this segment below the remaining lifetime
@@ -72,6 +80,10 @@ val fuel_left : t -> int
 
 (** [maxrss_bytes t] — peak resident set, the Section 6.2.5 metric. *)
 val maxrss_bytes : t -> int
+
+(** [jit_stats t] — lifetime tier-3 counters of the process's code cache
+    (compilations, OSR entries, tier split); [None] when the JIT is off. *)
+val jit_stats : t -> Jit.stats option
 
 val output : t -> string
 val sensitive_log : t -> (int * int) list

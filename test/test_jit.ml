@@ -1,0 +1,288 @@
+(* Differential tests for the tier-3 template JIT: the three-way
+   bit-identicality contract (reference dispatch, fast interpreter,
+   tier 3) on pinned generated programs, the fuzz corpus, faults inside
+   compiled code, and deopt storms (random fuel cuts, mid-run observer
+   attachment). Plus the staleness battery: a poisoned or rerandomized
+   cache entry must be invalidated or revalidated — never executed. *)
+
+open R2c_machine
+module D = R2c_core.Dconfig
+module Pipeline = R2c_core.Pipeline
+module Gen = R2c_fuzz.Gen
+module Corpus = R2c_fuzz.Corpus
+module Genprog = R2c_workloads.Genprog
+module Opts = R2c_compiler.Opts
+module Link = R2c_compiler.Link
+module Asm = R2c_compiler.Asm
+module Q = QCheck
+
+let fuel = 2_000_000
+
+(* Compile-everything-immediately thresholds: unit-test programs are
+   short, so the default warm-up would leave tier 3 cold. *)
+let hot = { Jit.call_threshold = 1; backedge_threshold = 2 }
+
+(* Same oracle as Test_perf: everything the contract covers, cycles as
+   IEEE-754 bits. *)
+let fingerprint cpu result =
+  Printf.sprintf "%s|exit:%d|cycles:%Lx|insns:%d|imiss:%d|iacc:%d|depth:%d|out:%s"
+    (match result with
+    | Cpu.Halted -> "halted"
+    | Cpu.Fuel_exhausted -> "fuel"
+    | Cpu.Faulted f -> "fault:" ^ Fault.to_string f)
+    cpu.Cpu.exit_code
+    (Int64.bits_of_float cpu.Cpu.cycles)
+    cpu.Cpu.insns
+    (Icache.misses cpu.Cpu.icache)
+    (Icache.accesses cpu.Cpu.icache)
+    cpu.Cpu.max_depth (Cpu.output cpu)
+
+(* JIT off at load; each leg decides its own tier. *)
+let load img = Loader.load ~strict_align:true ~jit:false ~profile:Cost.epyc_rome img
+
+let fp_reference img =
+  let cpu = load img in
+  fingerprint cpu (Cpu.run_reference cpu ~fuel)
+
+let fp_fast img =
+  let cpu = load img in
+  fingerprint cpu (Cpu.run cpu ~fuel)
+
+(* Returns the fingerprint and the attachment's stats so callers can
+   assert tier 3 actually ran. *)
+let fp_tier3 img =
+  let cpu = load img in
+  let j = Jit.attach ~config:hot cpu in
+  let fp = fingerprint cpu (Cpu.run cpu ~fuel) in
+  (fp, Jit.stats j)
+
+let check_three_tiers name img =
+  let reference = fp_reference img in
+  Alcotest.(check string) (name ^ " [fast]") reference (fp_fast img);
+  let t3, st = fp_tier3 img in
+  Alcotest.(check string) (name ^ " [tier3]") reference t3;
+  st
+
+(* --- the 25 pinned-seed programs, three tiers ----------------------- *)
+
+let test_generated_programs () =
+  let tier3_total = ref 0 and compiled_total = ref 0 in
+  for i = 1 to 25 do
+    let seed = 7001 + (137 * i) in
+    let p = Gen.v2 ~seed () in
+    let st =
+      check_three_tiers
+        (Printf.sprintf "gen seed %d full" seed)
+        (Pipeline.compile ~seed (D.full ()) p)
+    in
+    tier3_total := !tier3_total + st.Jit.tier3_insns;
+    compiled_total := !compiled_total + st.Jit.compiled;
+    if i mod 5 = 0 then
+      ignore
+        (check_three_tiers
+           (Printf.sprintf "gen seed %d baseline" seed)
+           (Pipeline.compile ~seed D.baseline p))
+  done;
+  (* the equality above must not be vacuous *)
+  Alcotest.(check bool) "tier 3 compiled functions" true (!compiled_total > 0);
+  Alcotest.(check bool) "tier 3 retired instructions" true (!tier3_total > 0)
+
+(* --- fuzz corpus through all three tiers ---------------------------- *)
+
+let test_corpus_replay () =
+  List.iter
+    (fun path ->
+      match Corpus.load path with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok p ->
+          ignore
+            (check_three_tiers (path ^ " full") (Pipeline.compile ~seed:11 (D.full ()) p));
+          ignore
+            (check_three_tiers (path ^ " baseline")
+               (Pipeline.compile ~seed:11 D.baseline p)))
+    (Corpus.files ~dir:"corpus")
+
+(* --- OSR: compiled code entered at a loop head, not just at entry --- *)
+
+let test_osr_entry () =
+  let seed = 7001 + 137 in
+  let img = Pipeline.compile ~seed (D.full ()) (Gen.v2 ~seed ()) in
+  let cpu = load img in
+  let j = Jit.attach ~config:hot cpu in
+  ignore (Cpu.run cpu ~fuel);
+  let st = Jit.stats j in
+  Alcotest.(check bool) "compiled" true (st.Jit.compiled > 0);
+  Alcotest.(check bool) "entered at function entry" true (st.Jit.entry_enters > 0);
+  Alcotest.(check bool) "entered via OSR" true (st.Jit.osr_enters > 0);
+  Alcotest.(check bool)
+    "tier 3 retired the bulk" true
+    (st.Jit.tier3_insns > st.Jit.interp_insns)
+
+(* --- faults detonating inside compiled code ------------------------- *)
+
+(* With call_threshold = 1 the function compiles on first entry, so the
+   faulting instruction runs as a tier-3 template, not interpreted. *)
+let raw_image insns =
+  let emitted = [ Asm.of_raw { Opts.rname = "main"; rinsns = insns; rbooby_trap = false } ] in
+  Link.link ~opts:Opts.default ~main:"main" emitted []
+
+let test_fault_equality () =
+  ignore
+    (check_three_tiers "div by zero in hot code"
+       (raw_image
+          Insn.
+            [ Mov (Reg RAX, Imm (Abs 1)); Mov (Reg RBX, Imm (Abs 0)); Div (RAX, Reg RBX); Ret ]));
+  ignore
+    (check_three_tiers "wild store in hot code"
+       (raw_image
+          Insn.
+            [ Mov (Reg RAX, Imm (Abs 0x666000)); Mov (Mem (mem ~base:RAX ()), Imm (Abs 1)); Ret ]));
+  ignore (check_three_tiers "trap in hot code" (raw_image Insn.[ Trap ]))
+
+(* --- builtin taps fire identically under tier 3 --------------------- *)
+
+let test_builtin_tap () =
+  let seed = 7001 + (137 * 2) in
+  let img = Pipeline.compile ~seed (D.full ()) (Gen.v2 ~seed ()) in
+  let tap cpu =
+    let n = ref 0 in
+    Cpu.set_builtin_tap cpu (Some (fun _ _ -> incr n));
+    n
+  in
+  let cpu_r = load img in
+  let n_r = tap cpu_r in
+  let fp_r = fingerprint cpu_r (Cpu.run_reference cpu_r ~fuel) in
+  let cpu_j = load img in
+  let n_j = tap cpu_j in
+  let j = Jit.attach ~config:hot cpu_j in
+  let fp_j = fingerprint cpu_j (Cpu.run cpu_j ~fuel) in
+  Alcotest.(check string) "fingerprints agree" fp_r fp_j;
+  Alcotest.(check int) "tap fire counts agree" !n_r !n_j;
+  Alcotest.(check bool) "taps fired" true (!n_r > 0);
+  Alcotest.(check bool) "tier 3 ran under the tap" true ((Jit.stats j).Jit.tier3_insns > 0)
+
+(* --- deopt storm: random fuel cuts + mid-run observer attach -------- *)
+
+(* A run segmented at arbitrary fuel boundaries, with an observer
+   attached on every other segment (forcing the reference tier for that
+   stretch, i.e. a dispatch-level deopt and later re-entry), must land on
+   exactly the state of one uninterrupted reference run. *)
+let run_segmented cpu cuts total =
+  let observer ~rip:_ ~cycles:_ ~misses:_ ~called:_ = () in
+  let remaining = ref total in
+  let result = ref Cpu.Fuel_exhausted in
+  let stopped = ref false in
+  List.iteri
+    (fun k f ->
+      if (not !stopped) && !remaining > 0 then begin
+        let f = min f !remaining in
+        if k land 1 = 1 then Cpu.set_observer cpu (Some observer);
+        let r = Cpu.run cpu ~fuel:f in
+        Cpu.set_observer cpu None;
+        remaining := !remaining - f;
+        match r with
+        | Cpu.Fuel_exhausted -> ()
+        | r ->
+            result := r;
+            stopped := true
+      end)
+    cuts;
+  if (not !stopped) && !remaining > 0 then result := Cpu.run cpu ~fuel:!remaining;
+  !result
+
+let prop_deopt_storm =
+  Q.Test.make ~count:20
+    ~name:"jit: segmented tier-3 run with mid-run observer == one reference run"
+    Q.(pair (int_range 1 25) (small_list (int_range 1 20_000)))
+    (fun (i, cuts) ->
+      let seed = 7001 + (137 * i) in
+      let img = Pipeline.compile ~seed (D.full ()) (Gen.v2 ~seed ()) in
+      let total = fuel in
+      let reference =
+        let cpu = load img in
+        fingerprint cpu (Cpu.run_reference cpu ~fuel:total)
+      in
+      let cpu = load img in
+      ignore (Jit.attach ~config:hot cpu);
+      let r = run_segmented cpu cuts total in
+      String.equal reference (fingerprint cpu r))
+
+(* --- staleness: poisoned entries are invalidated, never executed ---- *)
+
+let test_poisoned_cache () =
+  let seed = 7001 + (137 * 3) in
+  let img = Pipeline.compile ~seed (D.full ()) (Gen.v2 ~seed ()) in
+  let reference = fp_reference img in
+  let cache = Jit.create_cache ~config:hot ~profile:Cost.epyc_rome img in
+  let cpu1 = load img in
+  let j1 = Jit.attach ~config:hot ~cache cpu1 in
+  Alcotest.(check string) "warm run" reference (fingerprint cpu1 (Cpu.run cpu1 ~fuel));
+  (* strand every cached entry the way an interrupted rerandomization
+     would: stale generation, wrong digest *)
+  let poisoned =
+    List.fold_left
+      (fun acc (f : Image.func_info) ->
+        if Jit.poison j1 ~entry:f.Image.entry then acc + 1 else acc)
+      0 img.Image.funcs
+  in
+  Alcotest.(check bool) "something was cached to poison" true (poisoned > 0);
+  let compiled_before = (Jit.cache_stats cache).Jit.compiled in
+  let cpu2 = load img in
+  ignore (Jit.attach ~config:hot ~cache cpu2);
+  Alcotest.(check string) "post-poison run" reference
+    (fingerprint cpu2 (Cpu.run cpu2 ~fuel));
+  let st = Jit.cache_stats cache in
+  Alcotest.(check bool) "stale entries invalidated" true (st.Jit.invalidated >= 1);
+  Alcotest.(check bool) "and recompiled fresh" true (st.Jit.compiled > compiled_before)
+
+(* --- cache survival across incremental rerandomization (PR 9) ------- *)
+
+let test_rerand_cache_reuse () =
+  let p = Genprog.generate ~seed:5 ~funcs:24 in
+  let cfg = D.full () in
+  let coords ls = { Pipeline.cfg; body_seed = 3; link_seed = Some ls } in
+  let r = Pipeline.rerand_create () in
+  let img1, _ = Pipeline.compile_incremental r (coords 100) p in
+  let img1b, _ = Pipeline.compile_incremental r (coords 100) p in
+  let img2, _ = Pipeline.compile_incremental r (coords 101) p in
+  let cache = Jit.create_cache ~config:hot ~profile:Cost.epyc_rome img1 in
+  let run_jit img =
+    let cpu = load img in
+    let j = Jit.attach ~config:hot ~cache cpu in
+    (fingerprint cpu (Cpu.run cpu ~fuel), j)
+  in
+  let fp1, j1 = run_jit img1 in
+  Alcotest.(check string) "variant ls=100" (fp_reference img1) fp1;
+  (* poison one entry, then retarget the warm cache at a byte-identical
+     image (same coords, fresh Image.t): the poisoned entry must be
+     invalidated and recompiled, the healthy ones revalidated *)
+  let first_entry = (List.hd img1.Image.funcs).Image.entry in
+  let could_poison = Jit.poison j1 ~entry:first_entry in
+  let fp1b, _ = run_jit img1b in
+  Alcotest.(check string) "same coords, warm cache" (fp_reference img1b) fp1b;
+  let st = Jit.cache_stats cache in
+  Alcotest.(check bool) "healthy entries revalidated" true (st.Jit.revalidated >= 1);
+  if could_poison then
+    Alcotest.(check bool) "poisoned entry invalidated" true (st.Jit.invalidated >= 1);
+  (* rotate the link seed: new layout, same bodies — the cache follows
+     and results stay identical to the reference tier on the new image *)
+  let fp2, _ = run_jit img2 in
+  Alcotest.(check string) "rotated variant ls=101" (fp_reference img2) fp2
+
+let suite =
+  [
+    ( "jit",
+      [
+        Alcotest.test_case "25 pinned-seed programs, three tiers" `Quick
+          test_generated_programs;
+        Alcotest.test_case "corpus replay, three tiers" `Quick test_corpus_replay;
+        Alcotest.test_case "OSR entry at loop heads" `Quick test_osr_entry;
+        Alcotest.test_case "fault equality in hot code" `Quick test_fault_equality;
+        Alcotest.test_case "builtin taps under tier 3" `Quick test_builtin_tap;
+        QCheck_alcotest.to_alcotest prop_deopt_storm;
+        Alcotest.test_case "poisoned cache invalidated, not executed" `Quick
+          test_poisoned_cache;
+        Alcotest.test_case "cache reuse across incremental rerandomization" `Quick
+          test_rerand_cache_reuse;
+      ] );
+  ]
